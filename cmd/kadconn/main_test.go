@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kadre/internal/eventsim"
+	"kadre/internal/graph"
+	"kadre/internal/kademlia"
+	"kadre/internal/simnet"
+	"kadre/internal/snapshot"
+)
+
+// writeTestSnapshot builds a small settled network and persists it.
+func writeTestSnapshot(t *testing.T, path string) {
+	t.Helper()
+	sim := eventsim.New(3)
+	net := simnet.New(sim, simnet.Config{})
+	cfg := kademlia.Config{Bits: 64, K: 4, Alpha: 3, StalenessLimit: 1}
+	var nodes []*kademlia.Node
+	for i := 0; i < 20; i++ {
+		n, err := kademlia.NewNode(cfg, simnet.Addr(i+1), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes[1:] {
+		if err := n.Join(nodes[0].Contact(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.RunUntil(5 * time.Minute)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := snapshot.Capture(sim.Now(), nodes).WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnalyzeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	writeTestSnapshot(t, path)
+	if err := run([]string{"-in", path, "-full"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-c", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-algo", "push-relabel", "-c", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPairMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	writeTestSnapshot(t, path)
+	// Pair 0,1 may be adjacent; find a non-adjacent pair first.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := snapshot.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, w := -1, -1
+	for a := 0; a < s.N() && v < 0; a++ {
+		for b := 0; b < s.N(); b++ {
+			if a != b && !s.Graph.HasEdge(a, b) {
+				v, w = a, b
+				break
+			}
+		}
+	}
+	if v < 0 {
+		t.Skip("snapshot graph is complete")
+	}
+	if err := run([]string{"-in", path, "-pair", intsCSV(v, w)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func intsCSV(v, w int) string {
+	return fmtInt(v) + "," + fmtInt(w)
+}
+
+func fmtInt(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func TestRunEmitDIMACSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "snap.json")
+	dimacsPath := filepath.Join(dir, "transformed.dimacs")
+	writeTestSnapshot(t, jsonPath)
+	if err := run([]string{"-in", jsonPath, "-emit-dimacs", dimacsPath}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(dimacsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	prob, err := graph.ReadDIMACS(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even transform doubles the vertex count.
+	if prob.Graph.N()%2 != 0 || prob.Graph.N() == 0 {
+		t.Fatalf("transformed graph has %d vertices", prob.Graph.N())
+	}
+	// The DIMACS file itself is analyzable.
+	if err := run([]string{"-in", dimacsPath, "-format", "dimacs", "-c", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -in should fail")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.json"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	writeTestSnapshot(t, path)
+	if err := run([]string{"-in", path, "-format", "yaml"}); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := run([]string{"-in", path, "-algo", "simplex"}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if err := run([]string{"-in", path, "-pair", "zz"}); err == nil {
+		t.Error("bad pair spec should fail")
+	}
+}

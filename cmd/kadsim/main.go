@@ -1,0 +1,135 @@
+// Command kadsim runs one Kademlia resilience simulation and reports the
+// connectivity time series, mirroring the paper's per-simulation
+// methodology: randomized setup, stabilization, optional churn/traffic/
+// loss, and periodic connectivity snapshots.
+//
+// Examples:
+//
+//	kadsim -size 250 -k 20 -churn 1/1 -traffic -churn-mins 240
+//	kadsim -size 100 -k 10 -loss medium -staleness 5 -snapshots out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kadre/internal/churn"
+	"kadre/internal/report"
+	"kadre/internal/scenario"
+	"kadre/internal/simnet"
+	"kadre/internal/snapshot"
+	"kadre/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kadsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kadsim", flag.ContinueOnError)
+	var (
+		size      = fs.Int("size", 100, "initial network size")
+		k         = fs.Int("k", 20, "bucket size k")
+		alpha     = fs.Int("alpha", 3, "request parallelism alpha")
+		bits      = fs.Int("bits", 160, "identifier bit-length b")
+		staleness = fs.Int("staleness", 1, "staleness limit s")
+		lossName  = fs.String("loss", "none", "message loss scenario: none, low, medium, high")
+		churnSpec = fs.String("churn", "0/0", "churn rate add/remove per minute, e.g. 1/1")
+		traffic   = fs.Bool("traffic", false, "enable 10 lookups + 1 dissemination per node per minute")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		setupM    = fs.Int("setup-mins", 30, "setup phase length (minutes)")
+		stabM     = fs.Int("stabilize-mins", 90, "stabilization phase length (minutes)")
+		churnM    = fs.Int("churn-mins", 120, "churn/observation phase length (minutes)")
+		snapM     = fs.Int("interval-mins", 20, "snapshot interval (minutes)")
+		sampleC   = fs.Float64("c", 0.02, "connectivity sampling fraction (paper's c)")
+		snapDir   = fs.String("snapshots", "", "directory to write per-snapshot JSON graphs")
+		chart     = fs.Bool("chart", true, "render an ASCII chart of the series")
+		quiet     = fs.Bool("quiet", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	loss, err := simnet.ParseLossLevel(*lossName)
+	if err != nil {
+		return err
+	}
+	rate, err := churn.ParseRate(*churnSpec)
+	if err != nil {
+		return err
+	}
+
+	cfg := scenario.Config{
+		Name: "kadsim", Seed: *seed, Size: *size,
+		K: *k, Alpha: *alpha, Bits: *bits, Staleness: *staleness,
+		Loss: loss, Churn: rate, Traffic: *traffic,
+		Setup:            time.Duration(*setupM) * time.Minute,
+		Stabilize:        time.Duration(*stabM) * time.Minute,
+		ChurnPhase:       time.Duration(*churnM) * time.Minute,
+		SnapshotInterval: time.Duration(*snapM) * time.Minute,
+		SampleFraction:   *sampleC,
+	}
+	if !*quiet {
+		cfg.Log = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+	}
+
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			return fmt.Errorf("create snapshot dir: %w", err)
+		}
+		var writeErr error
+		cfg.OnSnapshot = func(s *snapshot.Snapshot, _ scenario.SnapshotStat) {
+			if writeErr != nil {
+				return
+			}
+			writeErr = writeSnapshot(*snapDir, s)
+		}
+		defer func() {
+			if writeErr != nil {
+				fmt.Fprintln(os.Stderr, "kadsim: snapshot persistence:", writeErr)
+			}
+		}()
+	}
+
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nrun complete: %d snapshots, churn +%d/-%d, %d traffic ops, %d messages sent (%d lost), wall %v\n\n",
+		len(res.Points), res.ChurnAdded, res.ChurnRemoved, res.TrafficOps,
+		res.Network.Sent, res.Network.Lost, res.Elapsed.Round(time.Millisecond))
+
+	header, rows := report.SnapshotRows(res)
+	if err := report.WriteTable(os.Stdout, header, rows); err != nil {
+		return err
+	}
+
+	if *chart {
+		fmt.Println()
+		series := []*stats.Series{res.MinSeries(), res.AvgSeries()}
+		if err := report.Chart(os.Stdout, "connectivity over time", series, 14); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSnapshot(dir string, s *snapshot.Snapshot) error {
+	path := filepath.Join(dir, fmt.Sprintf("snapshot-%06.0fm.json", s.Time.Minutes()))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

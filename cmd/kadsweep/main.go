@@ -1,0 +1,185 @@
+// Command kadsweep regenerates the paper's figures and tables. Each
+// experiment id maps to one artefact of the evaluation section (see
+// DESIGN.md's experiment index); the output is the paper's tables as text
+// and the figures as ASCII charts plus per-run measurement tables.
+//
+// Examples:
+//
+//	kadsweep -list
+//	kadsweep -exp table1
+//	kadsweep -exp figure2 -scale tiny
+//	kadsweep -exp figure6 -scale reduced -csv out/
+//	kadsweep -exp all -scale tiny
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"kadre/internal/report"
+	"kadre/internal/scenario"
+	"kadre/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kadsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kadsweep", flag.ContinueOnError)
+	var (
+		expID     = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		scaleName = fs.String("scale", "reduced", "scale: paper, reduced, tiny")
+		seed      = fs.Int64("seed", 1, "base seed")
+		csvDir    = fs.String("csv", "", "directory for per-run CSV series")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		quiet     = fs.Bool("quiet", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale, err := scenario.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Println("available experiments (paper artefact -> id):")
+		fmt.Println("  table1    Table 1 (message-loss scenarios; static)")
+		for _, e := range scale.Experiments(*seed) {
+			fmt.Printf("  %-9s %s (%d runs)\n", e.ID, e.Title, len(e.Configs))
+		}
+		return nil
+	}
+	if *expID == "" {
+		return fmt.Errorf("-exp is required (try -list)")
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	if *expID == "table1" {
+		header, rows := report.Table1()
+		fmt.Println("Table 1: message loss scenarios")
+		return report.WriteTable(os.Stdout, header, rows)
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = ids[:0]
+		for _, e := range scale.Experiments(*seed) {
+			ids = append(ids, e.ID)
+		}
+		header, rows := report.Table1()
+		fmt.Println("Table 1: message loss scenarios")
+		if err := report.WriteTable(os.Stdout, header, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	for _, eid := range ids {
+		if err := runExperiment(scale, eid, *seed, *csvDir, *quiet); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runExperiment(scale scenario.Scale, expID string, seed int64, csvDir string, quiet bool) error {
+	exp, err := scale.ExperimentByID(expID, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== %s: %s (scale %s, %d runs) ===\n", exp.ID, exp.Title, scale.Name, len(exp.Configs))
+	start := time.Now()
+	results := make([]*scenario.Result, 0, len(exp.Configs))
+	for _, cfg := range exp.Configs {
+		if !quiet {
+			cfg.Log = func(format string, a ...any) { fmt.Printf("  "+format+"\n", a...) }
+		}
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("run %q: %w", cfg.Name, err)
+		}
+		results = append(results, res)
+		if csvDir != "" {
+			if err := writeCSV(csvDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("--- %s finished in %v ---\n\n", exp.ID, time.Since(start).Round(time.Second))
+	return render(exp, results)
+}
+
+func render(exp scenario.Experiment, results []*scenario.Result) error {
+	switch exp.ID {
+	case "table2":
+		header, rows := report.Table2(results)
+		fmt.Println("Table 2: means and relative variance of min connectivity during churn")
+		return report.WriteTable(os.Stdout, header, rows)
+	case "figure10":
+		header, rows := report.MeansByK(results)
+		fmt.Println("Figure 10: means of the minimum connectivity during churn")
+		return report.WriteTable(os.Stdout, header, rows)
+	case "bitlength":
+		header, rows := report.MeansByK(results)
+		fmt.Println("§5.7: bit-length comparison (expect no significant difference)")
+		return report.WriteTable(os.Stdout, header, rows)
+	default:
+		// Figure-style output: min- and avg-connectivity charts over all
+		// runs, then per-run tables.
+		var minSeries, avgSeries []*stats.Series
+		for _, r := range results {
+			minSeries = append(minSeries, r.MinSeries())
+			avgSeries = append(avgSeries, r.AvgSeries())
+		}
+		if err := report.Chart(os.Stdout, exp.Title+" — minimum connectivity", minSeries, 14); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := report.Chart(os.Stdout, exp.Title+" — average connectivity", avgSeries, 14); err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Printf("\n%s\n", r.Config.Name)
+			header, rows := report.SnapshotRows(r)
+			if err := report.WriteTable(os.Stdout, header, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func writeCSV(dir string, r *scenario.Result) error {
+	name := strings.NewReplacer("/", "_", "=", "").Replace(r.Config.Name) + ".csv"
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "t_min,n,edges,min_conn,avg_conn,symmetry"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(f, "%.0f,%d,%d,%d,%.3f,%.4f\n",
+			p.Time.Minutes(), p.N, p.Edges, p.Min, p.Avg, p.Symmetry); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"-exp", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure2Tiny(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "figure2", "-scale", "tiny", "-quiet", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 4 {
+		t.Fatalf("wrote %d CSV files, want 4 (one per k)", len(matches))
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t_min,n,edges,min_conn,avg_conn,symmetry") {
+		t.Fatalf("csv header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 3 {
+		t.Fatal("csv has no data rows")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -exp should fail")
+	}
+	if err := run([]string{"-exp", "figure99"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-exp", "figure2", "-scale", "galactic"}); err == nil {
+		t.Error("unknown scale should fail")
+	}
+}

@@ -1,0 +1,91 @@
+// Message loss vs connectivity: the paper's most counter-intuitive result
+// (Simulation J, Figure 12). Lossy channels cause communication failures,
+// failures evict routing-table entries, and the freed slots let the
+// network re-wire itself into a better-connected topology — so message
+// loss *increases* connectivity (while staleness limit s=5 damps the
+// effect). This example runs the same network under all four Table 1 loss
+// levels and both staleness limits and prints the comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kadre"
+)
+
+func main() {
+	size := flag.Int("size", 80, "network size (paper: 2500)")
+	mins := flag.Int("observe-mins", 120, "observation phase after stabilization")
+	flag.Parse()
+	if err := run(*size, *mins); err != nil {
+		fmt.Fprintln(os.Stderr, "messageloss:", err)
+		os.Exit(1)
+	}
+}
+
+func run(size, mins int) error {
+	fmt.Printf("message loss vs connectivity: %d nodes, k=20, no churn (Simulation J)\n", size)
+	fmt.Println("Table 1 loss levels: none=0%, low=5%, medium=25%, high=50% two-way failure")
+	fmt.Println()
+
+	type outcome struct {
+		loss      kadre.LossLevel
+		staleness int
+		min       int
+		avg       float64
+		lost      uint64
+	}
+	var outcomes []outcome
+
+	for _, staleness := range []int{1, 5} {
+		for _, loss := range []kadre.LossLevel{kadre.LossNone, kadre.LossLow, kadre.LossMedium, kadre.LossHigh} {
+			cfg := kadre.ScenarioConfig{
+				Name: fmt.Sprintf("J/s=%d/l=%s", staleness, loss), Seed: 31,
+				Size: size, K: 20, Staleness: staleness, Loss: loss,
+				Traffic:          true,
+				Setup:            30 * time.Minute,
+				Stabilize:        90 * time.Minute,
+				ChurnPhase:       time.Duration(mins) * time.Minute,
+				SnapshotInterval: 30 * time.Minute,
+				SampleFraction:   0.06,
+			}
+			res, err := kadre.RunScenario(cfg)
+			if err != nil {
+				return err
+			}
+			last := res.Points[len(res.Points)-1]
+			outcomes = append(outcomes, outcome{
+				loss: loss, staleness: staleness,
+				min: last.Min, avg: last.Avg, lost: res.Network.Lost,
+			})
+			fmt.Printf("  ran %-16s final min=%3d avg=%6.1f (messages lost: %d)\n",
+				cfg.Name, last.Min, last.Avg, res.Network.Lost)
+		}
+	}
+
+	fmt.Println("\nfinal connectivity by loss level:")
+	fmt.Println("loss     s=1 min  s=1 avg   s=5 min  s=5 avg")
+	for i := 0; i < 4; i++ {
+		a, b := outcomes[i], outcomes[i+4]
+		fmt.Printf("%-7s  %7d  %7.1f   %7d  %7.1f\n", a.loss, a.min, a.avg, b.min, b.avg)
+	}
+
+	s1None, s1High := outcomes[0], outcomes[3]
+	fmt.Println()
+	if s1High.min > s1None.min {
+		fmt.Printf("paper's finding reproduced: with s=1, high loss lifted min connectivity %d -> %d\n",
+			s1None.min, s1High.min)
+		fmt.Println("(evictions free bucket slots; the rebuilt topology is better connected)")
+	} else {
+		fmt.Printf("loss did not lift connectivity in this run (min %d -> %d); larger networks/longer phases show it more strongly\n",
+			s1None.min, s1High.min)
+	}
+	s5High := outcomes[7]
+	if s5High.min <= s1High.min {
+		fmt.Printf("damping reproduced: s=5 holds the high-loss min at %d vs %d with s=1\n", s5High.min, s1High.min)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Smart camera network (SCN): the paper's first motivating cyber-physical
+// system (§1). A fleet of networked cameras organizes itself with
+// Kademlia, continuously exchanges observations (data traffic), and
+// suffers ongoing hardware failures without replacement (churn 0/1) —
+// Simulation C of the paper. The example reports how the connectivity,
+// and therefore the number of simultaneously compromised or failed
+// cameras the surveillance system tolerates, evolves as cameras die.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kadre"
+)
+
+func main() {
+	size := flag.Int("cameras", 100, "number of cameras (paper: 250)")
+	k := flag.Int("k", 10, "Kademlia bucket size")
+	flag.Parse()
+	if err := run(*size, *k); err != nil {
+		fmt.Fprintln(os.Stderr, "smartcamera:", err)
+		os.Exit(1)
+	}
+}
+
+func run(size, k int) error {
+	fmt.Printf("smart camera network: %d cameras, k=%d, cameras fail at 1/minute after stabilization\n\n", size, k)
+
+	failPhase := time.Duration(size-10) * time.Minute
+	cfg := kadre.ScenarioConfig{
+		Name: "SCN", Seed: 11, Size: size,
+		K:                k,
+		Staleness:        1,                // detect dead cameras after one failed exchange
+		Traffic:          true,             // cameras exchange tracking data constantly
+		Churn:            kadre.Churn0_1,   // cameras fail and are not replaced
+		Setup:            30 * time.Minute, // staggered power-on
+		Stabilize:        90 * time.Minute,
+		ChurnPhase:       failPhase,
+		SnapshotInterval: 30 * time.Minute,
+		SampleFraction:   0.05,
+	}
+
+	res, err := kadre.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("time(min)  cameras  minConn  tolerated failures/compromises")
+	for _, p := range res.Points {
+		r := kadre.Resilience(p.Min)
+		verdict := fmt.Sprintf("%d", r)
+		if p.Min == 0 {
+			verdict = "NETWORK PARTITIONED"
+		}
+		fmt.Printf("%8.0f  %7d  %7d  %s\n", p.Time.Minutes(), p.N, p.Min, verdict)
+	}
+
+	// The paper's design rule: to tolerate a compromised cameras the
+	// operator must pick k > a (Conclusion, §6). Check it against the
+	// stabilized network.
+	var stabilized *kadre.SnapshotStat
+	for i := range res.Points {
+		if res.Points[i].Time >= cfg.ChurnStart() {
+			stabilized = &res.Points[i]
+			break
+		}
+	}
+	if stabilized != nil {
+		fmt.Printf("\nafter stabilization: kappa=%d with k=%d — ", stabilized.Min, k)
+		if stabilized.Min >= k {
+			fmt.Printf("the paper's kappa ~ k observation holds; size the bucket as k > a for a tolerated attackers\n")
+		} else {
+			fmt.Printf("below k; small networks and small k need the stabilization traffic to converge (cf. Sim C setup anomaly)\n")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Package churn generates the paper's network-churn scenarios: per minute
+// of simulated time, a fixed number of randomly chosen nodes leave and a
+// fixed number of fresh nodes join, each action at a uniformly random
+// instant within its minute (§5.3). The scenarios evaluated are 0/1, 1/1,
+// and 10/10 (add/remove per minute).
+package churn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"kadre/internal/eventsim"
+)
+
+// Rate is a churn scenario: nodes added and removed per minute.
+type Rate struct {
+	Add    int
+	Remove int
+}
+
+// The paper's three churn scenarios.
+var (
+	Rate0_1   = Rate{Add: 0, Remove: 1}
+	Rate1_1   = Rate{Add: 1, Remove: 1}
+	Rate10_10 = Rate{Add: 10, Remove: 10}
+)
+
+// IsZero reports whether the rate produces no churn at all.
+func (r Rate) IsZero() bool { return r.Add == 0 && r.Remove == 0 }
+
+// String renders the paper's "add/remove" notation.
+func (r Rate) String() string { return fmt.Sprintf("%d/%d", r.Add, r.Remove) }
+
+// ParseRate reads the "add/remove" notation.
+func ParseRate(s string) (Rate, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return Rate{}, fmt.Errorf("churn: rate %q is not add/remove", s)
+	}
+	add, err1 := strconv.Atoi(parts[0])
+	remove, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || add < 0 || remove < 0 {
+		return Rate{}, fmt.Errorf("churn: rate %q has invalid counts", s)
+	}
+	return Rate{Add: add, Remove: remove}, nil
+}
+
+// Population is the churn generator's view of the network.
+type Population interface {
+	// RemoveRandomNode removes one uniformly chosen live node. It reports
+	// false when no node is left to remove.
+	RemoveRandomNode() bool
+	// AddNode creates a fresh node and joins it through a random live
+	// bootstrap node.
+	AddNode() error
+}
+
+// Generator applies a churn rate to a population for a bounded phase.
+type Generator struct {
+	sim   *eventsim.Simulator
+	rate  Rate
+	pop   Population
+	until time.Duration
+	timer *eventsim.Timer
+
+	added   int
+	removed int
+	errs    []error
+}
+
+// NewGenerator builds a churn generator. Nothing happens until Start.
+func NewGenerator(sim *eventsim.Simulator, rate Rate, pop Population) *Generator {
+	return &Generator{sim: sim, rate: rate, pop: pop}
+}
+
+// Added reports how many joins the generator has performed.
+func (g *Generator) Added() int { return g.added }
+
+// Removed reports how many removals the generator has performed.
+func (g *Generator) Removed() int { return g.removed }
+
+// Errs returns errors from node additions (at most one retained per
+// minute; additions never abort the run).
+func (g *Generator) Errs() []error { return g.errs }
+
+// Start schedules churn from virtual time `from` until `until`. Each
+// minute in the window gets rate.Remove removals and rate.Add additions at
+// independent uniformly random offsets within the minute.
+func (g *Generator) Start(from, until time.Duration) error {
+	if g.rate.IsZero() {
+		return nil
+	}
+	if until < from {
+		return fmt.Errorf("churn: window ends %v before it starts %v", until, from)
+	}
+	if from < g.sim.Now() {
+		return fmt.Errorf("churn: window starts %v in the past (now %v)", from, g.sim.Now())
+	}
+	g.until = until
+	var err error
+	g.timer, err = g.sim.ScheduleAt(from, g.minute)
+	if err != nil {
+		return fmt.Errorf("churn: %w", err)
+	}
+	return nil
+}
+
+// Stop cancels pending minute ticks. Actions already scheduled inside the
+// current minute still run.
+func (g *Generator) Stop() {
+	if g.timer != nil {
+		g.timer.Cancel()
+		g.timer = nil
+	}
+}
+
+// minute schedules one minute's worth of churn actions and re-arms.
+func (g *Generator) minute() {
+	now := g.sim.Now()
+	if now >= g.until {
+		return
+	}
+	r := g.sim.Rand()
+	for i := 0; i < g.rate.Remove; i++ {
+		offset := time.Duration(r.Int63n(int64(time.Minute)))
+		g.sim.MustSchedule(offset, func() {
+			if g.pop.RemoveRandomNode() {
+				g.removed++
+			}
+		})
+	}
+	for i := 0; i < g.rate.Add; i++ {
+		offset := time.Duration(r.Int63n(int64(time.Minute)))
+		g.sim.MustSchedule(offset, func() {
+			if err := g.pop.AddNode(); err != nil {
+				if len(g.errs) < 16 {
+					g.errs = append(g.errs, err)
+				}
+				return
+			}
+			g.added++
+		})
+	}
+	next := now + time.Minute
+	if next < g.until {
+		g.timer = g.sim.MustSchedule(time.Minute, g.minute)
+	}
+}

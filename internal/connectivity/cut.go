@@ -1,0 +1,112 @@
+package connectivity
+
+import (
+	"fmt"
+	"sort"
+
+	"kadre/internal/graph"
+	"kadre/internal/maxflow"
+)
+
+// PairCut returns a minimum vertex cut separating w from v: a smallest set
+// of vertices (excluding v and w themselves) whose removal destroys every
+// path from v to w. Its size equals kappa(v, w). This extends the paper's
+// analysis from *how many* nodes an attacker must compromise (Equation 2)
+// to *which* nodes realize that minimum — the optimal attack against the
+// pair.
+//
+// The cut is read off the max-flow residual graph of the Even-transformed
+// graph: with a maximum flow in place, a vertex u is in the cut exactly
+// when its internal edge (u', u”) crosses from the residual-reachable
+// side to the unreachable side. Unlike the kappa computation — where every
+// capacity is 1, as in the paper — the rewired original edges here carry
+// capacity n so that the minimum cut is forced onto internal edges only;
+// the flow value is unaffected because vertex-disjoint paths never share
+// an original edge.
+func PairCut(g *graph.Digraph, v, w int) ([]int, error) {
+	if v == w {
+		return nil, fmt.Errorf("connectivity: cut (%d,%d) has identical endpoints", v, w)
+	}
+	if v < 0 || v >= g.N() || w < 0 || w >= g.N() {
+		return nil, fmt.Errorf("connectivity: cut (%d,%d) out of range [0,%d)", v, w, g.N())
+	}
+	if g.HasEdge(v, w) {
+		return nil, fmt.Errorf("connectivity: vertices %d and %d are adjacent; no vertex cut separates them", v, w)
+	}
+	big := int32(g.N() + 1)
+	edges := make([]maxflow.Edge, 0, g.N()+g.M())
+	for u := 0; u < g.N(); u++ {
+		edges = append(edges, maxflow.Edge{U: graph.In(u), V: graph.Out(u), Cap: 1})
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, x := range g.Successors(u) {
+			edges = append(edges, maxflow.Edge{U: graph.Out(u), V: graph.In(x), Cap: big})
+		}
+	}
+	solver := maxflow.NewDinic(2*g.N(), edges)
+	solver.MaxFlow(graph.Out(v), graph.In(w))
+	reach := solver.ResidualReachable(graph.Out(v))
+	var cut []int
+	for u := 0; u < g.N(); u++ {
+		if u == v || u == w {
+			continue
+		}
+		if reach[graph.In(u)] && !reach[graph.Out(u)] {
+			cut = append(cut, u)
+		}
+	}
+	sort.Ints(cut)
+	return cut, nil
+}
+
+// GraphCut returns a minimum vertex cut of the whole graph: the smallest
+// vertex set whose removal disconnects some ordered pair, found at the
+// pair achieving kappa(D). For a complete graph there is no such cut and
+// GraphCut reports ok = false. The cut set is the optimal attack of the
+// paper's system model: compromising exactly these kappa(D) nodes
+// partitions the network, while any kappa(D)-1 compromised nodes leave it
+// connected (r-resilience, Equation 2).
+func GraphCut(g *graph.Digraph, opts Options) (cut []int, pair [2]int, ok bool, err error) {
+	opts.MinOnly = true
+	a, err := NewAnalyzer(opts)
+	if err != nil {
+		return nil, [2]int{}, false, err
+	}
+	res := a.Analyze(g)
+	if res.Complete || res.MinPair[0] < 0 {
+		return nil, [2]int{}, false, nil
+	}
+	cut, err = PairCut(g, res.MinPair[0], res.MinPair[1])
+	if err != nil {
+		return nil, [2]int{}, false, err
+	}
+	return cut, res.MinPair, true, nil
+}
+
+// RemoveVertices returns a copy of g with the given vertices deleted
+// (vertices are renumbered densely; the returned mapping gives old-to-new
+// indexes, with -1 for removed vertices). Examples use this to simulate
+// node compromise and verify residual connectivity.
+func RemoveVertices(g *graph.Digraph, remove []int) (*graph.Digraph, []int) {
+	gone := make(map[int]bool, len(remove))
+	for _, v := range remove {
+		gone[v] = true
+	}
+	mapping := make([]int, g.N())
+	next := 0
+	for v := 0; v < g.N(); v++ {
+		if gone[v] {
+			mapping[v] = -1
+			continue
+		}
+		mapping[v] = next
+		next++
+	}
+	out := graph.NewDigraph(next)
+	for _, e := range g.Edges() {
+		if mapping[e.U] >= 0 && mapping[e.V] >= 0 {
+			out.AddEdge(mapping[e.U], mapping[e.V])
+		}
+	}
+	return out, mapping
+}

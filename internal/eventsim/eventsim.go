@@ -1,0 +1,194 @@
+// Package eventsim provides a deterministic discrete-event simulation
+// kernel: a virtual clock, a binary-heap event queue, cancellable timers,
+// and a seeded random number generator. It replaces PeerSim's event-driven
+// engine from the paper. All state is single-goroutine; the kernel itself
+// never spawns goroutines, which makes every run exactly reproducible from
+// its seed.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrPastTime reports an attempt to schedule an event before the current
+// virtual time.
+var ErrPastTime = errors.New("eventsim: cannot schedule event in the past")
+
+// Simulator is a discrete-event simulator with a virtual clock. The zero
+// value is not usable; construct with New.
+type Simulator struct {
+	now       time.Duration
+	seq       uint64 // tie-breaker so equal-time events run in schedule order
+	queue     eventQueue
+	rng       *rand.Rand
+	processed uint64
+	cancelled uint64
+	stopped   bool
+}
+
+// Timer is a handle to a scheduled event. Cancel prevents a pending event
+// from firing; cancelling an already-fired or already-cancelled timer is a
+// no-op.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's event from firing. It reports whether the
+// event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer's event has neither fired nor been
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && t.ev.fn != nil
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// New returns a simulator whose random number generator is seeded with seed.
+// Two simulators built from the same seed and fed the same schedule of
+// events produce identical executions.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time, measured from simulation start.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's seeded random number generator. All
+// randomness in a simulation must come from this generator to keep runs
+// reproducible.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Processed reports how many events have fired so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are queued (including cancelled events
+// not yet reaped).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run after delay of virtual time and returns a
+// cancellable handle. A negative delay is an error; a zero delay runs fn
+// at the current time, after already-queued events for that time.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) (*Timer, error) {
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time at.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) (*Timer, error) {
+	if at < s.now {
+		return nil, ErrPastTime
+	}
+	if fn == nil {
+		return nil, errors.New("eventsim: nil event function")
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}, nil
+}
+
+// MustSchedule is Schedule for call sites that control the delay and accept
+// a panic on misuse (negative delay or nil fn).
+func (s *Simulator) MustSchedule(delay time.Duration, fn func()) *Timer {
+	t, err := s.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Step fires the next pending event, advancing the clock to its time. It
+// reports whether an event fired; cancelled events are skipped silently.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.fn == nil {
+			s.cancelled++
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		s.processed++
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= deadline, then advances the clock to
+// the deadline. Events scheduled beyond the deadline stay queued.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Stop makes a Run or RunUntil in progress return after the current event.
+// It is intended to be called from inside an event callback.
+func (s *Simulator) Stop() { s.stopped = true }
+
+func (s *Simulator) peek() (time.Duration, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].fn == nil {
+			heap.Pop(&s.queue)
+			s.cancelled++
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}

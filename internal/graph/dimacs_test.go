@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 3)
+
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g, [2]int{0, 3}, [2]int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	prob, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.Graph.N() != 4 || prob.Graph.M() != 4 {
+		t.Fatalf("parsed %d vertices %d edges", prob.Graph.N(), prob.Graph.M())
+	}
+	for _, e := range g.Edges() {
+		if !prob.Graph.HasEdge(e.U, e.V) {
+			t.Fatalf("missing edge %v after round trip", e)
+		}
+	}
+	if len(prob.Pairs) != 2 || prob.Pairs[0] != [2]int{0, 3} || prob.Pairs[1] != [2]int{1, 3} {
+		t.Fatalf("pairs = %v", prob.Pairs)
+	}
+}
+
+func TestWriteDIMACSFormat(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddEdge(0, 1)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g, [2]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p max 2 1", "n 1 s", "n 2 t", "a 1 2 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDIMACSRejectsBadPair(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddEdge(0, 1)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g, [2]int{0, 5}); err == nil {
+		t.Error("out-of-range pair should fail")
+	}
+	if err := WriteDIMACS(&buf, g, [2]int{1, 1}); err == nil {
+		t.Error("identical endpoints should fail")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"no problem line", "a 1 2 1\n"},
+		{"bad problem", "p min 3 2\n"},
+		{"duplicate problem", "p max 2 1\np max 2 1\n"},
+		{"non-unit capacity", "p max 2 1\na 1 2 7\n"},
+		{"arc out of range", "p max 2 1\na 1 5 1\n"},
+		{"bad arc fields", "p max 2 1\na 1 x 1\n"},
+		{"bad node role", "p max 2 1\nn 1 q\n"},
+		{"bad pair comment", "p max 2 1\nc pair 1 x\na 1 2 1\n"},
+		{"unknown descriptor", "p max 2 1\nz 1 2\n"},
+		{"pair out of range", "p max 2 0\nc pair 1 9\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadDIMACS(strings.NewReader(tt.input)); err == nil {
+				t.Errorf("input %q: expected error", tt.input)
+			}
+		})
+	}
+}
+
+func TestReadDIMACSWithoutPairs(t *testing.T) {
+	prob, err := ReadDIMACS(strings.NewReader("p max 3 2\na 1 2 1\na 2 3 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prob.Pairs) != 0 {
+		t.Fatalf("pairs = %v, want none", prob.Pairs)
+	}
+	if prob.Graph.M() != 2 {
+		t.Fatalf("M = %d", prob.Graph.M())
+	}
+}
+
+func TestReadDIMACSSkipsCommentsAndBlankLines(t *testing.T) {
+	in := "c header comment\n\np max 2 1\nc another\na 1 2 1\n\n"
+	prob, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.Graph.N() != 2 || prob.Graph.M() != 1 {
+		t.Fatal("comment/blank handling broke parsing")
+	}
+}

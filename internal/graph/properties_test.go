@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDigraph(seed int64) *Digraph {
+	r := rand.New(rand.NewSource(seed))
+	n := 2 + r.Intn(25)
+	g := NewDigraph(n)
+	for i := 0; i < n*3; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestSymmetryRatioBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		ratio := randomDigraph(seed).SymmetryRatio()
+		return ratio >= 0 && ratio <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetrizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDigraph(seed)
+		once := g.Symmetrize()
+		twice := once.Symmetrize()
+		return once.IsSymmetric() && twice.M() == once.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeCountMatchesDegrees(t *testing.T) {
+	// Sum of out-degrees == sum of in-degrees == M.
+	f := func(seed int64) bool {
+		g := randomDigraph(seed)
+		var outSum, inSum int
+		for v := 0; v < g.N(); v++ {
+			outSum += g.OutDegree(v)
+		}
+		for _, d := range g.InDegrees() {
+			inSum += d
+		}
+		return outSum == g.M() && inSum == g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvenTransformPreservesReachabilityEndpoints(t *testing.T) {
+	// If edge (u,v) exists in g, then Out(u) -> In(v) exists in the
+	// transform, and vice versa.
+	f := func(seed int64) bool {
+		g := randomDigraph(seed)
+		tg := EvenTransform(g)
+		for _, e := range g.Edges() {
+			if !tg.HasEdge(Out(e.U), In(e.V)) {
+				return false
+			}
+		}
+		// Count check rules out phantom edges beyond internals.
+		return tg.M() == g.M()+g.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package id implements b-bit Kademlia identifiers and the XOR distance
+// metric from Maymounkov and Mazieres. Identifiers name both nodes and data
+// objects. The bit-length b is a protocol parameter (the paper evaluates
+// b = 160 and b = 80); all identifiers participating in one network must
+// share the same bit-length.
+package id
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// MaxBits is the largest supported identifier bit-length.
+const MaxBits = 256
+
+// MaxBytes is the largest supported identifier byte-length.
+const MaxBytes = MaxBits / 8
+
+// DefaultBits is the bit-length used by the original Kademlia paper.
+const DefaultBits = 160
+
+var (
+	// ErrBitLength reports an unsupported identifier bit-length.
+	ErrBitLength = errors.New("id: bit-length must be a positive multiple of 8 and at most 256")
+	// ErrDataLength reports a data buffer whose size does not match the bit-length.
+	ErrDataLength = errors.New("id: data length does not match bit-length")
+	// ErrMixedBits reports an operation on identifiers of different bit-lengths.
+	ErrMixedBits = errors.New("id: mixed identifier bit-lengths")
+)
+
+// ID is an immutable b-bit identifier. The zero value is invalid; construct
+// identifiers with New, Random, FromUint64, Hash, or Parse. Identifiers are
+// value types and can be compared for equality with Equal (not ==, because
+// unused trailing bytes are always zero but the bits field must match too).
+type ID struct {
+	bits int
+	data [MaxBytes]byte // big-endian, left-aligned in the first bits/8 bytes
+}
+
+// CheckBits validates an identifier bit-length.
+func CheckBits(b int) error {
+	if b <= 0 || b > MaxBits || b%8 != 0 {
+		return fmt.Errorf("%w: %d", ErrBitLength, b)
+	}
+	return nil
+}
+
+// New builds an identifier of the given bit-length from big-endian bytes.
+// len(data) must equal bits/8.
+func New(bitLen int, data []byte) (ID, error) {
+	if err := CheckBits(bitLen); err != nil {
+		return ID{}, err
+	}
+	if len(data) != bitLen/8 {
+		return ID{}, fmt.Errorf("%w: got %d bytes, want %d", ErrDataLength, len(data), bitLen/8)
+	}
+	var out ID
+	out.bits = bitLen
+	copy(out.data[:], data)
+	return out, nil
+}
+
+// MustNew is New but panics on error. It is intended for tests and for
+// call sites that construct identifiers from compile-time constants.
+func MustNew(bitLen int, data []byte) ID {
+	out, err := New(bitLen, data)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Random returns a uniformly random identifier of the given bit-length drawn
+// from r. It panics if the bit-length is invalid, since the caller always
+// controls it.
+func Random(bitLen int, r *rand.Rand) ID {
+	if err := CheckBits(bitLen); err != nil {
+		panic(err)
+	}
+	var out ID
+	out.bits = bitLen
+	n := bitLen / 8
+	full := n / 8 * 8 // whole 8-byte words that fit inside the id
+	for i := 0; i < full; i += 8 {
+		binary.BigEndian.PutUint64(out.data[i:], r.Uint64())
+	}
+	for i := full; i < n; i++ {
+		out.data[i] = byte(r.Intn(256))
+	}
+	return out
+}
+
+// FromUint64 returns the identifier whose integer value is v, in a space of
+// the given bit-length. It is mainly useful in tests, where small readable
+// identifier values make distances obvious.
+func FromUint64(bitLen int, v uint64) ID {
+	if err := CheckBits(bitLen); err != nil {
+		panic(err)
+	}
+	var out ID
+	out.bits = bitLen
+	n := bitLen / 8
+	for i := 0; i < 8 && i < n; i++ {
+		out.data[n-1-i] = byte(v >> (8 * i))
+	}
+	return out
+}
+
+// Hash derives an identifier from an arbitrary payload using SHA-256,
+// truncated to the requested bit-length. The paper derives node identifiers
+// from network addresses this way ("using a cryptographically secure hash
+// function with the goal of equal distribution").
+func Hash(bitLen int, payload []byte) ID {
+	if err := CheckBits(bitLen); err != nil {
+		panic(err)
+	}
+	sum := sha256.Sum256(payload)
+	var out ID
+	out.bits = bitLen
+	copy(out.data[:bitLen/8], sum[:bitLen/8])
+	return out
+}
+
+// Parse decodes a hex string produced by String into an identifier of the
+// given bit-length.
+func Parse(bitLen int, s string) (ID, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return ID{}, fmt.Errorf("id: parse %q: %w", s, err)
+	}
+	return New(bitLen, raw)
+}
+
+// Bits reports the identifier's bit-length, or 0 for the zero value.
+func (a ID) Bits() int { return a.bits }
+
+// IsZeroValue reports whether a is the invalid zero value (no bit-length).
+func (a ID) IsZeroValue() bool { return a.bits == 0 }
+
+// Bytes returns a copy of the identifier's big-endian byte representation.
+func (a ID) Bytes() []byte {
+	out := make([]byte, a.bits/8)
+	copy(out, a.data[:a.bits/8])
+	return out
+}
+
+// String renders the identifier as lowercase hex.
+func (a ID) String() string {
+	return hex.EncodeToString(a.data[:a.bits/8])
+}
+
+// Equal reports whether two identifiers have the same bit-length and value.
+func (a ID) Equal(b ID) bool {
+	return a.bits == b.bits && a.data == b.data
+}
+
+// Cmp compares the integer values of two identifiers of equal bit-length:
+// -1 if a < b, 0 if equal, +1 if a > b. It panics on mixed bit-lengths,
+// which is always a programming error.
+func (a ID) Cmp(b ID) int {
+	mustSameBits(a, b)
+	for i := 0; i < a.bits/8; i++ {
+		switch {
+		case a.data[i] < b.data[i]:
+			return -1
+		case a.data[i] > b.data[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Distance returns the XOR distance between two identifiers, itself an
+// identifier-sized value: dist(a, b) = a XOR b interpreted as an integer.
+func (a ID) Distance(b ID) ID {
+	mustSameBits(a, b)
+	out := ID{bits: a.bits}
+	for i := 0; i < a.bits/8; i++ {
+		out.data[i] = a.data[i] ^ b.data[i]
+	}
+	return out
+}
+
+// IsZero reports whether the identifier's integer value is zero. The XOR
+// distance between two identifiers is zero exactly when they are equal.
+func (a ID) IsZero() bool {
+	for i := 0; i < a.bits/8; i++ {
+		if a.data[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BitLen returns the position of the highest set bit plus one (the minimal
+// number of bits needed to represent the value), or 0 for a zero value.
+func (a ID) BitLen() int {
+	for i := 0; i < a.bits/8; i++ {
+		if a.data[i] != 0 {
+			return (a.bits/8-i-1)*8 + bits.Len8(a.data[i])
+		}
+	}
+	return 0
+}
+
+// BucketIndex returns the index of the k-bucket in a's routing table that
+// holds identifier b: the i satisfying 2^i <= dist(a, b) < 2^(i+1). It
+// returns -1 when a == b, which belongs to no bucket. The highest bucket
+// index is a.Bits()-1 and covers half of the identifier space.
+func (a ID) BucketIndex(b ID) int {
+	return a.Distance(b).BitLen() - 1
+}
+
+// CloserTo reports whether a is strictly closer to target than b is, under
+// the XOR metric.
+func (a ID) CloserTo(target, b ID) bool {
+	mustSameBits(a, b)
+	mustSameBits(a, target)
+	// Compare a^target with b^target byte-wise without allocating.
+	for i := 0; i < a.bits/8; i++ {
+		da := a.data[i] ^ target.data[i]
+		db := b.data[i] ^ target.data[i]
+		switch {
+		case da < db:
+			return true
+		case da > db:
+			return false
+		}
+	}
+	return false
+}
+
+// RandomInBucket returns a uniformly random identifier that would land in
+// bucket index i of self's routing table, i.e. with 2^i <= dist(self, id)
+// < 2^(i+1). Kademlia's bucket-refresh procedure looks up such identifiers
+// to repopulate each bucket. It panics if i is outside [0, self.Bits()).
+func RandomInBucket(self ID, i int, r *rand.Rand) ID {
+	if i < 0 || i >= self.bits {
+		panic(fmt.Sprintf("id: bucket index %d out of range [0,%d)", i, self.bits))
+	}
+	// Build a random distance with highest set bit exactly i, then XOR it
+	// onto self.
+	dist := ID{bits: self.bits}
+	byteIdx := self.bits/8 - 1 - i/8
+	bitInByte := uint(i % 8)
+	dist.data[byteIdx] = 1 << bitInByte
+	// Randomize all lower-order bits.
+	if bitInByte > 0 {
+		dist.data[byteIdx] |= byte(r.Intn(1 << bitInByte))
+	}
+	for j := byteIdx + 1; j < self.bits/8; j++ {
+		dist.data[j] = byte(r.Intn(256))
+	}
+	return self.Distance(dist)
+}
+
+func mustSameBits(a, b ID) {
+	if a.bits != b.bits {
+		panic(fmt.Sprintf("%v: %d vs %d", ErrMixedBits, a.bits, b.bits))
+	}
+}

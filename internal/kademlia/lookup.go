@@ -1,0 +1,209 @@
+package kademlia
+
+import (
+	"sort"
+
+	"kadre/internal/id"
+)
+
+// The iterative lookup procedure (§4.1 of the paper): starting from the k
+// closest known contacts, query alpha of them in parallel; each response
+// contributes new, closer candidates; the lookup converges on the target
+// and terminates once the k closest discovered nodes have all been
+// successfully contacted (or no progress is possible), or — for value
+// lookups — as soon as any node returns the value.
+
+type lookupKind int
+
+const (
+	lookupNode lookupKind = iota + 1
+	lookupValue
+)
+
+type candidateState int
+
+const (
+	stateUnqueried candidateState = iota + 1
+	stateInflight
+	stateResponded
+	stateFailed
+)
+
+type candidate struct {
+	contact Contact
+	state   candidateState
+}
+
+type lookup struct {
+	node   *Node
+	target id.ID
+	kind   lookupKind
+
+	// candidates stays sorted ascending by XOR distance to target.
+	candidates []*candidate
+	seen       map[id.ID]bool
+	inflight   int
+	responded  int
+	finished   bool
+
+	// claim, when set, must approve every candidate before it joins this
+	// lookup; disjoint-path lookups share one claim set across paths so
+	// no two paths traverse the same node.
+	claim func(id.ID) bool
+
+	onComplete func(closest []Contact, responded int)
+	onValue    func(value []byte)
+}
+
+func newLookup(n *Node, target id.ID, kind lookupKind, onValue func([]byte)) *lookup {
+	return &lookup{
+		node:    n,
+		target:  target,
+		kind:    kind,
+		seen:    map[id.ID]bool{n.self.ID: true},
+		onValue: onValue,
+	}
+}
+
+func (l *lookup) start() {
+	for _, c := range l.node.table.Closest(l.target, l.node.cfg.K) {
+		l.addCandidate(c)
+	}
+	l.step()
+}
+
+// addCandidate inserts a newly discovered contact in distance order.
+func (l *lookup) addCandidate(c Contact) {
+	if l.seen[c.ID] {
+		return
+	}
+	l.seen[c.ID] = true
+	if l.claim != nil && !l.claim(c.ID) {
+		return // another disjoint path owns this node
+	}
+	idx := sort.Search(len(l.candidates), func(i int) bool {
+		return !l.candidates[i].contact.ID.CloserTo(l.target, c.ID)
+	})
+	l.candidates = append(l.candidates, nil)
+	copy(l.candidates[idx+1:], l.candidates[idx:])
+	l.candidates[idx] = &candidate{contact: c, state: stateUnqueried}
+}
+
+// step drives the state machine: fire queries up to the parallelism limit,
+// and detect termination.
+func (l *lookup) step() {
+	if l.finished {
+		return
+	}
+	if !l.node.running {
+		l.finish()
+		return
+	}
+	cfg := l.node.cfg
+	if l.responded >= cfg.K || l.converged() {
+		l.finish()
+		return
+	}
+	for l.inflight < cfg.Alpha {
+		next := l.nextUnqueried()
+		if next == nil {
+			break
+		}
+		l.query(next)
+	}
+	if l.inflight == 0 {
+		// No queries in flight and none startable: no more progress.
+		l.finish()
+	}
+}
+
+// converged reports the standard termination rule: among the k closest
+// non-failed candidates there is nothing left to query.
+func (l *lookup) converged() bool {
+	k := l.node.cfg.K
+	checked := 0
+	for _, c := range l.candidates {
+		if c.state == stateFailed {
+			continue
+		}
+		if c.state != stateResponded {
+			return false
+		}
+		checked++
+		if checked >= k {
+			return true
+		}
+	}
+	return checked > 0
+}
+
+func (l *lookup) nextUnqueried() *candidate {
+	for _, c := range l.candidates {
+		if c.state == stateUnqueried {
+			return c
+		}
+	}
+	return nil
+}
+
+func (l *lookup) query(c *candidate) {
+	c.state = stateInflight
+	l.inflight++
+	var req any
+	if l.kind == lookupValue {
+		req = findValueRequest{Key: l.target}
+	} else {
+		req = findNodeRequest{Target: l.target}
+	}
+	l.node.sendRequest(c.contact, req, func(resp any, err error) {
+		l.inflight--
+		if err != nil {
+			c.state = stateFailed
+			l.step()
+			return
+		}
+		c.state = stateResponded
+		l.responded++
+		switch r := resp.(type) {
+		case findNodeResponse:
+			for _, nc := range r.Contacts {
+				l.addCandidate(nc)
+			}
+		case findValueResponse:
+			if r.Found {
+				if !l.finished {
+					l.finished = true
+					if l.onValue != nil {
+						l.onValue(r.Value)
+					}
+				}
+				return
+			}
+			for _, nc := range r.Contacts {
+				l.addCandidate(nc)
+			}
+		}
+		l.step()
+	})
+}
+
+// finish reports the k closest successfully contacted nodes.
+func (l *lookup) finish() {
+	if l.finished {
+		return
+	}
+	l.finished = true
+	closest := make([]Contact, 0, l.node.cfg.K)
+	for _, c := range l.candidates {
+		if c.state != stateResponded {
+			continue
+		}
+		closest = append(closest, c.contact)
+		if len(closest) == l.node.cfg.K {
+			break
+		}
+	}
+	if l.onComplete != nil {
+		l.onComplete(closest, l.responded)
+	}
+}

@@ -1,0 +1,44 @@
+package kademlia
+
+import "kadre/internal/id"
+
+// Wire messages. Every message travels inside an envelope carrying the
+// sender's contact information, because receiving any message — request or
+// response — updates the receiver's routing table (§4.1).
+
+type envelope struct {
+	RPCID      uint64
+	From       Contact
+	IsResponse bool
+	Payload    any
+}
+
+// PING liveness probe.
+type pingRequest struct{}
+type pingResponse struct{}
+
+// FIND_NODE: return the k closest contacts to Target.
+type findNodeRequest struct {
+	Target id.ID
+}
+type findNodeResponse struct {
+	Contacts []Contact
+}
+
+// STORE: persist a key/value pair on the receiver.
+type storeRequest struct {
+	Key   id.ID
+	Value []byte
+}
+type storeResponse struct{}
+
+// FIND_VALUE: like FIND_NODE, but short-circuits with the value when the
+// receiver has it.
+type findValueRequest struct {
+	Key id.ID
+}
+type findValueResponse struct {
+	Found    bool
+	Value    []byte
+	Contacts []Contact
+}

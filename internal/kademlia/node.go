@@ -1,0 +1,414 @@
+package kademlia
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"kadre/internal/eventsim"
+	"kadre/internal/id"
+	"kadre/internal/simnet"
+)
+
+// ErrTimeout reports an RPC that received no response within the
+// configured timeout — caused by message loss, a dead peer, or a detached
+// address.
+var ErrTimeout = errors.New("kademlia: rpc timeout")
+
+// ErrNotRunning reports an operation on a node that has not started or has
+// left the network.
+var ErrNotRunning = errors.New("kademlia: node not running")
+
+// NodeStats counts protocol-level activity on one node.
+type NodeStats struct {
+	RPCsSent         uint64
+	RPCsAnswered     uint64
+	ResponsesOK      uint64
+	Timeouts         uint64
+	LookupsStarted   uint64
+	LookupsCompleted uint64
+	StoresSent       uint64
+	Refreshes        uint64
+	Evictions        uint64
+}
+
+// Node is one Kademlia participant, driven entirely by simulation events.
+// Create with NewNode, activate with Start, remove with Leave.
+type Node struct {
+	cfg   Config
+	self  Contact
+	sim   *eventsim.Simulator
+	net   *simnet.Network
+	table *RoutingTable
+
+	storage map[id.ID][]byte
+
+	nextRPC      uint64
+	pending      map[uint64]*pendingRPC
+	refreshTimer *eventsim.Timer
+	running      bool
+	compromised  bool
+	stats        NodeStats
+}
+
+type pendingRPC struct {
+	to      Contact
+	timeout *eventsim.Timer
+	done    func(resp any, err error)
+}
+
+// AddrID derives a node identifier from a network address the way the
+// paper describes: by hashing the address with a cryptographic hash.
+func AddrID(bits int, addr simnet.Addr) id.ID {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(addr))
+	return id.Hash(bits, buf[:])
+}
+
+// NewNode creates a node with the identifier derived from addr. The node
+// is inert until Start.
+func NewNode(cfg Config, addr simnet.Addr, net *simnet.Network) (*Node, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return newNodeWithID(cfg, Contact{ID: AddrID(cfg.Bits, addr), Addr: addr}, net), nil
+}
+
+// NewNodeWithID creates a node with an explicit identifier. Tests use this
+// to build deterministic topologies.
+func NewNodeWithID(cfg Config, nodeID id.ID, addr simnet.Addr, net *simnet.Network) (*Node, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nodeID.Bits() != cfg.Bits {
+		return nil, fmt.Errorf("kademlia: id bit-length %d != configured %d", nodeID.Bits(), cfg.Bits)
+	}
+	return newNodeWithID(cfg, Contact{ID: nodeID, Addr: addr}, net), nil
+}
+
+func newNodeWithID(cfg Config, self Contact, net *simnet.Network) *Node {
+	return &Node{
+		cfg:     cfg,
+		self:    self,
+		sim:     net.Sim(),
+		net:     net,
+		table:   NewRoutingTable(self.ID, cfg),
+		storage: make(map[id.ID][]byte),
+		pending: make(map[uint64]*pendingRPC),
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() id.ID { return n.self.ID }
+
+// Addr returns the node's network address.
+func (n *Node) Addr() simnet.Addr { return n.self.Addr }
+
+// Contact returns the node's own contact record.
+func (n *Node) Contact() Contact { return n.self }
+
+// Table exposes the routing table for snapshotting and tests.
+func (n *Node) Table() *RoutingTable { return n.table }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// Running reports whether the node is attached to the network.
+func (n *Node) Running() bool { return n.running }
+
+// Config returns the node's effective (defaulted) configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Start attaches the node to the network and schedules bucket refreshes.
+func (n *Node) Start() error {
+	if n.running {
+		return fmt.Errorf("kademlia: node %s already running", n.self)
+	}
+	if err := n.net.Attach(n.self.Addr, n); err != nil {
+		return fmt.Errorf("kademlia: start: %w", err)
+	}
+	n.running = true
+	n.scheduleRefresh()
+	return nil
+}
+
+// Leave silently detaches the node, modelling departure or crash: no
+// goodbye messages, exactly like the paper's churn removals. Pending RPC
+// callbacks are cancelled.
+func (n *Node) Leave() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	n.net.Detach(n.self.Addr)
+	if n.refreshTimer != nil {
+		n.refreshTimer.Cancel()
+		n.refreshTimer = nil
+	}
+	for rpcID, p := range n.pending {
+		p.timeout.Cancel()
+		delete(n.pending, rpcID)
+	}
+}
+
+// Join bootstraps the node into a network via one known contact: the
+// bootstrap node enters the routing table and a self-lookup advertises the
+// joiner along the lookup path while harvesting contacts. done (optional)
+// receives the number of nodes that responded during the self-lookup.
+func (n *Node) Join(bootstrap Contact, done func(responded int)) error {
+	if !n.running {
+		return ErrNotRunning
+	}
+	if bootstrap.ID.Equal(n.self.ID) {
+		return fmt.Errorf("kademlia: cannot bootstrap from self")
+	}
+	n.observe(bootstrap)
+	n.Lookup(n.self.ID, func(contacts []Contact, responded int) {
+		if done != nil {
+			done(responded)
+		}
+	})
+	return nil
+}
+
+// Lookup runs the iterative FIND_NODE procedure toward target and calls
+// done with the closest responding contacts and the count of nodes
+// successfully contacted.
+func (n *Node) Lookup(target id.ID, done func(closest []Contact, responded int)) {
+	if !n.running {
+		if done != nil {
+			done(nil, 0)
+		}
+		return
+	}
+	n.stats.LookupsStarted++
+	l := newLookup(n, target, lookupNode, nil)
+	l.onComplete = func(closest []Contact, responded int) {
+		n.stats.LookupsCompleted++
+		if done != nil {
+			done(closest, responded)
+		}
+	}
+	l.start()
+}
+
+// Store disseminates a key/value pair: it locates the k closest nodes to
+// the key and sends each a STORE. done (optional) receives the number of
+// STORE requests dispatched.
+func (n *Node) Store(key id.ID, value []byte, done func(sent int)) {
+	if !n.running {
+		if done != nil {
+			done(0)
+		}
+		return
+	}
+	n.Lookup(key, func(closest []Contact, _ int) {
+		if !n.running {
+			if done != nil {
+				done(0)
+			}
+			return
+		}
+		for _, c := range closest {
+			n.stats.StoresSent++
+			n.sendRequest(c, storeRequest{Key: key, Value: value}, nil)
+		}
+		if done != nil {
+			done(len(closest))
+		}
+	})
+}
+
+// Get runs the iterative FIND_VALUE procedure. done receives the value if
+// any queried node had it.
+func (n *Node) Get(key id.ID, done func(value []byte, ok bool)) {
+	if !n.running {
+		if done != nil {
+			done(nil, false)
+		}
+		return
+	}
+	n.stats.LookupsStarted++
+	l := newLookup(n, key, lookupValue, func(value []byte) {
+		if done != nil {
+			done(value, true)
+		}
+	})
+	l.onComplete = func([]Contact, int) {
+		n.stats.LookupsCompleted++
+		if done != nil {
+			done(nil, false)
+		}
+	}
+	l.start()
+}
+
+// HasValue reports whether the node stores key locally.
+func (n *Node) HasValue(key id.ID) bool {
+	_, ok := n.storage[key]
+	return ok
+}
+
+// SetCompromised toggles the attacker behaviour of the paper's system
+// model (§3): a compromised node stays in the network — it keeps its
+// place in other nodes' routing tables — but denies all requests, thereby
+// hindering information exchange through it. Responses to its own
+// outstanding requests are also ignored, so it contributes no routing
+// work at all.
+func (n *Node) SetCompromised(c bool) { n.compromised = c }
+
+// Compromised reports whether the node is under attacker control.
+func (n *Node) Compromised() bool { return n.compromised }
+
+// Deliver implements simnet.Handler.
+func (n *Node) Deliver(from simnet.Addr, payload any) {
+	if !n.running || n.compromised {
+		return
+	}
+	env, ok := payload.(envelope)
+	if !ok {
+		return // foreign traffic; ignore
+	}
+	// Any message from another node refreshes its routing-table standing.
+	n.observe(env.From)
+	if env.IsResponse {
+		p, ok := n.pending[env.RPCID]
+		if !ok || p.to.Addr != from {
+			return // late, duplicate, or spoofed response
+		}
+		delete(n.pending, env.RPCID)
+		p.timeout.Cancel()
+		n.stats.ResponsesOK++
+		n.table.RecordSuccess(env.From.ID)
+		if p.done != nil {
+			p.done(env.Payload, nil)
+		}
+		return
+	}
+	n.stats.RPCsAnswered++
+	n.respond(env, n.handleRequest(env))
+}
+
+func (n *Node) handleRequest(env envelope) any {
+	switch req := env.Payload.(type) {
+	case pingRequest:
+		return pingResponse{}
+	case findNodeRequest:
+		return findNodeResponse{Contacts: n.closestExcluding(req.Target, env.From.ID)}
+	case storeRequest:
+		n.storage[req.Key] = append([]byte(nil), req.Value...)
+		return storeResponse{}
+	case findValueRequest:
+		if v, ok := n.storage[req.Key]; ok {
+			return findValueResponse{Found: true, Value: append([]byte(nil), v...)}
+		}
+		return findValueResponse{Contacts: n.closestExcluding(req.Key, env.From.ID)}
+	default:
+		return nil
+	}
+}
+
+// closestExcluding returns the k closest contacts to target, omitting the
+// requester (it knows itself already).
+func (n *Node) closestExcluding(target id.ID, requester id.ID) []Contact {
+	all := n.table.Closest(target, n.cfg.K+1)
+	out := make([]Contact, 0, len(all))
+	for _, c := range all {
+		if c.ID.Equal(requester) {
+			continue
+		}
+		out = append(out, c)
+		if len(out) == n.cfg.K {
+			break
+		}
+	}
+	return out
+}
+
+func (n *Node) respond(req envelope, payload any) {
+	if payload == nil {
+		return
+	}
+	n.net.Send(n.self.Addr, req.From.Addr, envelope{
+		RPCID:      req.RPCID,
+		From:       n.self,
+		IsResponse: true,
+		Payload:    payload,
+	})
+}
+
+// sendRequest issues an RPC with timeout tracking. done may be nil for
+// fire-and-forget semantics (the response still refreshes the routing
+// table; a timeout still charges staleness).
+func (n *Node) sendRequest(to Contact, payload any, done func(resp any, err error)) {
+	if !n.running {
+		if done != nil {
+			done(nil, ErrNotRunning)
+		}
+		return
+	}
+	rpcID := n.nextRPC
+	n.nextRPC++
+	p := &pendingRPC{to: to, done: done}
+	p.timeout = n.sim.MustSchedule(n.cfg.RPCTimeout, func() {
+		if !n.running {
+			return
+		}
+		if _, ok := n.pending[rpcID]; !ok {
+			return
+		}
+		delete(n.pending, rpcID)
+		n.stats.Timeouts++
+		if n.table.RecordFailure(to.ID) {
+			n.stats.Evictions++
+		}
+		if p.done != nil {
+			p.done(nil, ErrTimeout)
+		}
+	})
+	n.pending[rpcID] = p
+	n.stats.RPCsSent++
+	n.net.Send(n.self.Addr, to.Addr, envelope{
+		RPCID:   rpcID,
+		From:    n.self,
+		Payload: payload,
+	})
+}
+
+// observe feeds a contact sighting into the routing table and issues the
+// liveness ping the table may request for a full bucket's least-recently-
+// seen entry.
+func (n *Node) observe(c Contact) {
+	res := n.table.Observe(c)
+	if res.NeedsPing == nil {
+		return
+	}
+	probe := *res.NeedsPing
+	n.sendRequest(probe, pingRequest{}, nil)
+}
+
+// scheduleRefresh arms the periodic bucket refresh (§4.1: every node
+// refreshes each bucket hourly by looking up a random identifier from the
+// bucket's range).
+func (n *Node) scheduleRefresh() {
+	if n.cfg.RefreshInterval <= 0 {
+		return
+	}
+	n.refreshTimer = n.sim.MustSchedule(n.cfg.RefreshInterval, func() {
+		if !n.running {
+			return
+		}
+		n.refreshBuckets()
+		n.scheduleRefresh()
+	})
+}
+
+func (n *Node) refreshBuckets() {
+	n.stats.Refreshes++
+	for _, i := range n.table.RefreshTargets() {
+		target := id.RandomInBucket(n.self.ID, i, n.sim.Rand())
+		n.Lookup(target, nil)
+	}
+}

@@ -1,0 +1,330 @@
+package kademlia
+
+import (
+	"fmt"
+	"sort"
+
+	"kadre/internal/id"
+	"kadre/internal/simnet"
+)
+
+// Contact is a routing-table entry: another node's identifier and network
+// address.
+type Contact struct {
+	ID   id.ID
+	Addr simnet.Addr
+}
+
+// String implements fmt.Stringer.
+func (c Contact) String() string {
+	return fmt.Sprintf("%s@%d", c.ID, c.Addr)
+}
+
+// entry is a live routing-table slot with staleness bookkeeping.
+type entry struct {
+	contact Contact
+	// fails counts consecutive failed communication attempts; the contact
+	// is evicted when fails reaches the staleness limit s.
+	fails int
+	// pingInFlight suppresses duplicate liveness probes for this entry.
+	pingInFlight bool
+}
+
+// bucket is one k-bucket: entries in least-recently-seen-first order plus
+// a bounded replacement cache of contacts that arrived while full.
+type bucket struct {
+	entries      []*entry
+	replacements []Contact // oldest first; newest appended at the end
+}
+
+func (b *bucket) find(nodeID id.ID) int {
+	for i, e := range b.entries {
+		if e.contact.ID.Equal(nodeID) {
+			return i
+		}
+	}
+	return -1
+}
+
+// findStale returns the index of the first entry with fails >= limit that
+// has no ping outstanding, or -1.
+func (b *bucket) findStale(limit int) int {
+	for i, e := range b.entries {
+		if e.fails >= limit && !e.pingInFlight {
+			return i
+		}
+	}
+	return -1
+}
+
+func (b *bucket) removeReplacement(nodeID id.ID) {
+	for i, c := range b.replacements {
+		if c.ID.Equal(nodeID) {
+			b.replacements = append(b.replacements[:i], b.replacements[i+1:]...)
+			return
+		}
+	}
+}
+
+// RoutingTable is a node's view of the network: Bits k-buckets indexed by
+// XOR distance (bucket i holds contacts with 2^i <= dist < 2^(i+1)).
+// It is not safe for concurrent use; the simulation is single-threaded.
+type RoutingTable struct {
+	self    id.ID
+	cfg     Config
+	buckets []*bucket
+	size    int
+}
+
+// NewRoutingTable builds an empty table for the given owner.
+func NewRoutingTable(self id.ID, cfg Config) *RoutingTable {
+	cfg = cfg.WithDefaults()
+	buckets := make([]*bucket, cfg.Bits)
+	for i := range buckets {
+		buckets[i] = &bucket{}
+	}
+	return &RoutingTable{self: self, cfg: cfg, buckets: buckets}
+}
+
+// Self returns the owner's identifier.
+func (rt *RoutingTable) Self() id.ID { return rt.self }
+
+// Size returns the number of live contacts across all buckets.
+func (rt *RoutingTable) Size() int { return rt.size }
+
+// Contains reports whether nodeID is a live contact.
+func (rt *RoutingTable) Contains(nodeID id.ID) bool {
+	if nodeID.Equal(rt.self) {
+		return false
+	}
+	b := rt.bucketFor(nodeID)
+	return b != nil && b.find(nodeID) >= 0
+}
+
+// ObserveResult reports the consequences of an Observe call.
+type ObserveResult struct {
+	// Inserted is true when the contact now occupies a bucket slot.
+	Inserted bool
+	// NeedsPing, when non-zero, is the least-recently-seen entry of the
+	// full bucket; the caller should ping it to test liveness. The entry
+	// is marked ping-in-flight until RecordSuccess or RecordFailure.
+	NeedsPing *Contact
+}
+
+// Observe records direct communication with a contact, per the protocol:
+// "when a Kademlia node receives any message (request or reply) from
+// another node, it updates the appropriate k-bucket for the sender's node
+// ID". A known contact moves to most-recently-seen and its failure count
+// resets. An unknown contact fills a free slot, or directly replaces a
+// stale (failure count >= s) entry of a full bucket; otherwise it joins
+// the replacement cache and the least-recently-seen live entry is
+// nominated for a liveness ping.
+func (rt *RoutingTable) Observe(c Contact) ObserveResult {
+	if c.ID.Equal(rt.self) || c.ID.IsZeroValue() {
+		return ObserveResult{}
+	}
+	b := rt.bucketFor(c.ID)
+	if i := b.find(c.ID); i >= 0 {
+		e := b.entries[i]
+		e.fails = 0
+		e.contact = c // refresh address
+		b.entries = append(b.entries[:i], b.entries[i+1:]...)
+		b.entries = append(b.entries, e)
+		return ObserveResult{Inserted: true}
+	}
+	if len(b.entries) < rt.cfg.K {
+		b.entries = append(b.entries, &entry{contact: c})
+		rt.size++
+		return ObserveResult{Inserted: true}
+	}
+	// Bucket full: a stale entry (>= s consecutive failures) is replaced
+	// outright by the newcomer we just heard from.
+	if i := b.findStale(rt.cfg.StalenessLimit); i >= 0 {
+		b.entries = append(b.entries[:i], b.entries[i+1:]...)
+		b.entries = append(b.entries, &entry{contact: c})
+		return ObserveResult{Inserted: true}
+	}
+	// Otherwise stash in the replacement cache (dropping the oldest
+	// beyond capacity) and nominate the least-recently-seen entry for a
+	// liveness check.
+	b.removeReplacement(c.ID)
+	b.replacements = append(b.replacements, c)
+	if len(b.replacements) > rt.cfg.ReplacementCacheSize {
+		b.replacements = b.replacements[1:]
+	}
+	lrs := b.entries[0]
+	if lrs.pingInFlight {
+		return ObserveResult{}
+	}
+	lrs.pingInFlight = true
+	probe := lrs.contact
+	return ObserveResult{NeedsPing: &probe}
+}
+
+// RecordSuccess resets a contact's staleness budget and marks it
+// most-recently-seen after a successful exchange initiated by us.
+func (rt *RoutingTable) RecordSuccess(nodeID id.ID) {
+	if nodeID.Equal(rt.self) {
+		return
+	}
+	b := rt.bucketFor(nodeID)
+	i := b.find(nodeID)
+	if i < 0 {
+		return
+	}
+	e := b.entries[i]
+	e.fails = 0
+	e.pingInFlight = false
+	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	b.entries = append(b.entries, e)
+}
+
+// RecordFailure charges one failed communication attempt against a
+// contact. After s consecutive failures the contact is stale: it is
+// evicted in favour of the freshest replacement-cache contact when one
+// exists. With an empty replacement cache the stale entry is retained —
+// a node never evicts into a hole, exactly like the Mainline DHT (BEP 5,
+// the paper's reference [17]) keeps "bad" nodes until replacements
+// arrive. Retained stale entries are the first to be replaced by any
+// newly observed contact, and a later successful exchange fully
+// rehabilitates them. RecordFailure reports whether the contact was
+// evicted.
+//
+// This retention rule is what lets message loss *increase* connectivity
+// (the paper's Simulation J): failures rotate bucket membership instead
+// of shrinking tables, so the topology re-wires toward a more even
+// in-degree distribution.
+func (rt *RoutingTable) RecordFailure(nodeID id.ID) bool {
+	if nodeID.Equal(rt.self) {
+		return false
+	}
+	b := rt.bucketFor(nodeID)
+	i := b.find(nodeID)
+	if i < 0 {
+		return false
+	}
+	e := b.entries[i]
+	e.pingInFlight = false
+	if e.fails < rt.cfg.StalenessLimit {
+		e.fails++ // cap the counter at s; staleness is already decided
+	}
+	if e.fails < rt.cfg.StalenessLimit {
+		return false
+	}
+	n := len(b.replacements)
+	if n == 0 {
+		return false // no substitute: keep the stale entry (BEP 5 rule)
+	}
+	promoted := b.replacements[n-1]
+	b.replacements = b.replacements[:n-1]
+	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	b.entries = append(b.entries, &entry{contact: promoted})
+	return true
+}
+
+// IsStale reports whether a contact is present but marked stale (failure
+// count at the staleness limit).
+func (rt *RoutingTable) IsStale(nodeID id.ID) bool {
+	if nodeID.Equal(rt.self) {
+		return false
+	}
+	b := rt.bucketFor(nodeID)
+	i := b.find(nodeID)
+	return i >= 0 && b.entries[i].fails >= rt.cfg.StalenessLimit
+}
+
+// StaleCount returns the number of stale entries across all buckets.
+func (rt *RoutingTable) StaleCount() int {
+	count := 0
+	for _, b := range rt.buckets {
+		for _, e := range b.entries {
+			if e.fails >= rt.cfg.StalenessLimit {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Remove unconditionally drops a contact (used by tests and by node
+// shutdown paths); the replacement cache is not consulted.
+func (rt *RoutingTable) Remove(nodeID id.ID) bool {
+	if nodeID.Equal(rt.self) {
+		return false
+	}
+	b := rt.bucketFor(nodeID)
+	i := b.find(nodeID)
+	if i < 0 {
+		return false
+	}
+	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	rt.size--
+	return true
+}
+
+// Closest returns up to count live contacts closest to target under the
+// XOR metric, ascending by distance.
+func (rt *RoutingTable) Closest(target id.ID, count int) []Contact {
+	all := rt.Contacts()
+	sort.Slice(all, func(i, j int) bool {
+		return all[i].ID.CloserTo(target, all[j].ID)
+	})
+	if len(all) > count {
+		all = all[:count]
+	}
+	return all
+}
+
+// Contacts returns every live contact, bucket by bucket.
+func (rt *RoutingTable) Contacts() []Contact {
+	out := make([]Contact, 0, rt.size)
+	for _, b := range rt.buckets {
+		for _, e := range b.entries {
+			out = append(out, e.contact)
+		}
+	}
+	return out
+}
+
+// BucketLen returns the number of live contacts in bucket i.
+func (rt *RoutingTable) BucketLen(i int) int {
+	return len(rt.buckets[i].entries)
+}
+
+// BucketCount returns the number of buckets (the id bit-length).
+func (rt *RoutingTable) BucketCount() int { return len(rt.buckets) }
+
+// RefreshTargets returns the bucket indexes that periodic refresh should
+// probe: every bucket from just below the lowest non-empty one upward.
+// Refreshing all Bits buckets (the literal protocol) would waste most
+// lookups on distance ranges where no nodes can exist; this covers every
+// populated range plus one deeper bucket, and is documented as a
+// substitution in DESIGN.md.
+func (rt *RoutingTable) RefreshTargets() []int {
+	lowest := -1
+	for i, b := range rt.buckets {
+		if len(b.entries) > 0 {
+			lowest = i
+			break
+		}
+	}
+	if lowest < 0 {
+		return nil
+	}
+	if lowest > 0 {
+		lowest--
+	}
+	out := make([]int, 0, len(rt.buckets)-lowest)
+	for i := lowest; i < len(rt.buckets); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func (rt *RoutingTable) bucketFor(nodeID id.ID) *bucket {
+	i := rt.self.BucketIndex(nodeID)
+	if i < 0 {
+		return nil
+	}
+	return rt.buckets[i]
+}

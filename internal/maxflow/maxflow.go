@@ -1,0 +1,151 @@
+// Package maxflow implements maximum-flow solvers for the connectivity
+// pipeline: Dinic's algorithm (asymptotically optimal on the unit-capacity
+// graphs produced by Even's transformation, O(E*sqrt(V))) and a HIPR-style
+// highest-label push-relabel algorithm with gap and global-relabeling
+// heuristics, mirroring the solver the paper used (Cherkassky & Goldberg's
+// HIPR). Both solvers are reusable: a solver is built once per graph and
+// answers many (source, target) queries, resetting internal state between
+// queries — the same usage pattern as the authors' modified HIPR, which
+// they extended to evaluate multiple vertex pairs per invocation.
+package maxflow
+
+import "fmt"
+
+// Edge is a directed edge with capacity, as fed to a solver constructor.
+type Edge struct {
+	U, V int
+	Cap  int32
+}
+
+// Solver answers repeated maximum-flow queries on a fixed graph.
+type Solver interface {
+	// MaxFlow returns the value of a maximum s-t flow. It may be called
+	// repeatedly with different pairs; each call starts from zero flow.
+	MaxFlow(s, t int) int
+	// MaxFlowLimit is MaxFlow that may stop early once the flow value
+	// reaches limit, returning at least min(limit, true max flow). It
+	// exists for min-of-max-flows searches where values above the current
+	// minimum are irrelevant.
+	MaxFlowLimit(s, t, limit int) int
+	// N returns the number of vertices.
+	N() int
+}
+
+// Factory constructs a solver for a graph given as an edge list.
+type Factory func(n int, edges []Edge) Solver
+
+// Algorithm names a solver implementation.
+type Algorithm int
+
+// Available algorithms.
+const (
+	Dinic Algorithm = iota + 1
+	PushRelabel
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Dinic:
+		return "dinic"
+	case PushRelabel:
+		return "push-relabel"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a name to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "dinic":
+		return Dinic, nil
+	case "push-relabel", "pushrelabel", "hipr":
+		return PushRelabel, nil
+	default:
+		return 0, fmt.Errorf("maxflow: unknown algorithm %q", s)
+	}
+}
+
+// NewSolver builds a solver of the requested algorithm.
+func (a Algorithm) NewSolver(n int, edges []Edge) Solver {
+	switch a {
+	case PushRelabel:
+		return NewPushRelabel(n, edges)
+	default:
+		return NewDinic(n, edges)
+	}
+}
+
+// UnitEdges converts a plain (u, v) edge list into unit-capacity edges.
+func UnitEdges(pairs [][2]int) []Edge {
+	out := make([]Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = Edge{U: p[0], V: p[1], Cap: 1}
+	}
+	return out
+}
+
+// arcStore is the shared residual-graph representation: forward/backward
+// arc pairs in a compact array, with CSR-style per-vertex adjacency.
+type arcStore struct {
+	n     int
+	to    []int32 // arc -> head vertex
+	cap   []int32 // arc -> residual capacity (mutated during a query)
+	cap0  []int32 // arc -> original capacity (for reset between queries)
+	first []int32 // vertex -> first arc index in arcIdx
+	last  []int32 // vertex -> one past last arc index
+	arcs  []int32 // adjacency: arc indices grouped by tail vertex
+}
+
+func newArcStore(n int, edges []Edge) *arcStore {
+	if n < 0 {
+		panic(fmt.Sprintf("maxflow: negative vertex count %d", n))
+	}
+	s := &arcStore{
+		n:     n,
+		to:    make([]int32, 0, 2*len(edges)),
+		cap:   make([]int32, 0, 2*len(edges)),
+		first: make([]int32, n+1),
+		last:  make([]int32, n),
+	}
+	deg := make([]int32, n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", e.U, e.V, n))
+		}
+		if e.Cap < 0 {
+			panic(fmt.Sprintf("maxflow: negative capacity on edge (%d,%d)", e.U, e.V))
+		}
+		deg[e.U]++
+		deg[e.V]++
+		s.to = append(s.to, int32(e.V), int32(e.U))
+		s.cap = append(s.cap, e.Cap, 0)
+	}
+	s.cap0 = append([]int32(nil), s.cap...)
+	// Build CSR adjacency over arc indices.
+	var total int32
+	for v := 0; v < n; v++ {
+		s.first[v] = total
+		s.last[v] = total
+		total += deg[v]
+	}
+	s.first[n] = total
+	s.arcs = make([]int32, total)
+	for i, e := range edges {
+		fwd, bwd := int32(2*i), int32(2*i+1)
+		s.arcs[s.last[e.U]] = fwd
+		s.last[e.U]++
+		s.arcs[s.last[e.V]] = bwd
+		s.last[e.V]++
+	}
+	return s
+}
+
+// reset restores all residual capacities to their original values.
+func (s *arcStore) reset() {
+	copy(s.cap, s.cap0)
+}
+
+// rev returns the index of an arc's reverse arc.
+func rev(a int32) int32 { return a ^ 1 }

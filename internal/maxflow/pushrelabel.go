@@ -1,0 +1,256 @@
+package maxflow
+
+import "fmt"
+
+// PushRelabelSolver implements the highest-label variant of the
+// push-relabel method with the gap and global-relabeling heuristics — the
+// algorithm behind Cherkassky & Goldberg's HIPR, which the paper used for
+// all its max-flow computations. Worst-case O(V^2 * sqrt(E)).
+//
+// Only the flow value is computed (HIPR's "phase 1"); the connectivity
+// pipeline never needs an explicit flow decomposition.
+type PushRelabelSolver struct {
+	st     *arcStore
+	height []int32
+	excess []int64
+	cur    []int32 // current-arc pointers into st.arcs
+	// Active-vertex buckets indexed by height (intrusive singly-linked
+	// lists over vertices).
+	bucketHead []int32
+	nextActive []int32
+	highest    int32 // highest height with a possibly-active vertex
+	// Per-height vertex counts for the gap heuristic.
+	heightCount []int32
+	queue       []int32 // BFS scratch for global relabeling
+	relabels    int     // since last global relabel
+}
+
+var _ Solver = (*PushRelabelSolver)(nil)
+
+// NewPushRelabel builds a push-relabel solver for the given graph.
+func NewPushRelabel(n int, edges []Edge) *PushRelabelSolver {
+	return &PushRelabelSolver{
+		st:          newArcStore(n, edges),
+		height:      make([]int32, n),
+		excess:      make([]int64, n),
+		cur:         make([]int32, n),
+		bucketHead:  make([]int32, 2*n+2),
+		nextActive:  make([]int32, n),
+		heightCount: make([]int32, 2*n+2),
+		queue:       make([]int32, 0, n),
+	}
+}
+
+// N implements Solver.
+func (p *PushRelabelSolver) N() int { return p.st.n }
+
+// MaxFlow implements Solver.
+func (p *PushRelabelSolver) MaxFlow(s, t int) int {
+	return p.MaxFlowLimit(s, t, int(^uint(0)>>1))
+}
+
+// MaxFlowLimit implements Solver. The early-exit check fires when the
+// excess already at the sink reaches limit.
+func (p *PushRelabelSolver) MaxFlowLimit(s, t, limit int) int {
+	n := int32(p.st.n)
+	if s < 0 || int32(s) >= n || t < 0 || int32(t) >= n {
+		panic(fmt.Sprintf("maxflow: query (%d,%d) out of range [0,%d)", s, t, n))
+	}
+	if s == t {
+		panic("maxflow: source equals target")
+	}
+	p.st.reset()
+	ss, tt := int32(s), int32(t)
+
+	for i := range p.excess {
+		p.excess[i] = 0
+	}
+	for i := range p.bucketHead {
+		p.bucketHead[i] = -1
+	}
+	p.highest = 0
+	p.relabels = 0
+
+	// Exact initial heights via backward BFS from t, then saturate arcs
+	// out of s.
+	p.globalRelabel(ss, tt)
+	for ai := p.st.first[ss]; ai < p.st.first[ss+1]; ai++ {
+		a := p.st.arcs[ai]
+		if p.st.cap[a] <= 0 {
+			continue
+		}
+		v := p.st.to[a]
+		if v == ss {
+			continue
+		}
+		amt := p.st.cap[a]
+		before := p.excess[v]
+		p.excess[v] += int64(amt)
+		p.st.cap[rev(a)] += amt
+		p.st.cap[a] = 0
+		if before == 0 && v != tt && p.height[v] < n {
+			p.activate(v)
+		}
+	}
+
+	for int(p.excess[tt]) < limit {
+		u := p.popHighest(n)
+		if u < 0 {
+			break
+		}
+		p.discharge(u, ss, tt, n)
+		if p.relabels > p.st.n {
+			p.globalRelabelPreserve(ss, tt)
+			p.relabels = 0
+		}
+	}
+	return int(p.excess[tt])
+}
+
+// activate inserts v into its height bucket and raises the highest-active
+// watermark.
+func (p *PushRelabelSolver) activate(v int32) {
+	h := p.height[v]
+	p.nextActive[v] = p.bucketHead[h]
+	p.bucketHead[h] = v
+	if h > p.highest {
+		p.highest = h
+	}
+}
+
+// popHighest removes and returns the active vertex with the greatest
+// height below n, or -1 if none remain.
+func (p *PushRelabelSolver) popHighest(n int32) int32 {
+	if p.highest >= n {
+		p.highest = n - 1
+	}
+	for p.highest >= 0 {
+		if u := p.bucketHead[p.highest]; u >= 0 {
+			p.bucketHead[p.highest] = p.nextActive[u]
+			// Entries may be stale after a gap lift or global relabel;
+			// only return u if it is genuinely active at this height.
+			if p.height[u] == p.highest && p.excess[u] > 0 {
+				return u
+			}
+			continue
+		}
+		p.highest--
+	}
+	return -1
+}
+
+// discharge pushes u's excess along admissible arcs, relabeling as needed,
+// until the excess is gone or u rises to height >= n (unreachable from t).
+func (p *PushRelabelSolver) discharge(u, s, t, n int32) {
+	for p.excess[u] > 0 && p.height[u] < n {
+		if p.cur[u] >= p.st.first[u+1] {
+			p.relabel(u, n)
+			continue
+		}
+		a := p.st.arcs[p.cur[u]]
+		v := p.st.to[a]
+		if p.st.cap[a] > 0 && p.height[u] == p.height[v]+1 {
+			p.push(u, v, a, s, t, n)
+		} else {
+			p.cur[u]++
+		}
+	}
+}
+
+func (p *PushRelabelSolver) push(u, v, a, s, t, n int32) {
+	amt := int64(p.st.cap[a])
+	if p.excess[u] < amt {
+		amt = p.excess[u]
+	}
+	before := p.excess[v]
+	p.st.cap[a] -= int32(amt)
+	p.st.cap[rev(a)] += int32(amt)
+	p.excess[u] -= amt
+	p.excess[v] += amt
+	if before == 0 && v != s && v != t && p.height[v] < n {
+		p.activate(v)
+	}
+}
+
+func (p *PushRelabelSolver) relabel(u, n int32) {
+	p.relabels++
+	old := p.height[u]
+	p.heightCount[old]--
+	// Gap heuristic: if u was the last vertex at its height, every vertex
+	// above that height can never route flow to t again; lift them all out
+	// of play.
+	if p.heightCount[old] == 0 && old < n {
+		for v := int32(0); v < n; v++ {
+			if p.height[v] > old && p.height[v] < n {
+				p.heightCount[p.height[v]]--
+				p.height[v] = n + 1
+			}
+		}
+		p.height[u] = n + 1
+		return
+	}
+	minH := int32(2*p.st.n) + 1
+	for ai := p.st.first[u]; ai < p.st.first[u+1]; ai++ {
+		a := p.st.arcs[ai]
+		if p.st.cap[a] > 0 && p.height[p.st.to[a]] < minH {
+			minH = p.height[p.st.to[a]]
+		}
+	}
+	if minH >= 2*n {
+		p.height[u] = n + 1
+		return
+	}
+	p.height[u] = minH + 1
+	p.heightCount[minH+1]++
+	p.cur[u] = p.st.first[u]
+}
+
+// globalRelabel assigns exact distance-to-t heights via backward BFS on the
+// residual graph and resets bookkeeping. Vertices that cannot reach t get
+// height n.
+func (p *PushRelabelSolver) globalRelabel(s, t int32) {
+	n := int32(p.st.n)
+	for i := range p.height {
+		p.height[i] = n
+	}
+	for i := range p.heightCount {
+		p.heightCount[i] = 0
+	}
+	copy(p.cur, p.st.first)
+	p.height[t] = 0
+	p.queue = p.queue[:0]
+	p.queue = append(p.queue, t)
+	for head := 0; head < len(p.queue); head++ {
+		v := p.queue[head]
+		for ai := p.st.first[v]; ai < p.st.first[v+1]; ai++ {
+			a := p.st.arcs[ai]
+			u := p.st.to[a]
+			// Residual arc u->v exists iff the reverse of the v->u arc
+			// has positive capacity.
+			if p.st.cap[rev(a)] > 0 && p.height[u] == n && u != t && u != s {
+				p.height[u] = p.height[v] + 1
+				p.queue = append(p.queue, u)
+			}
+		}
+	}
+	p.height[s] = n
+	for v := int32(0); v < n; v++ {
+		p.heightCount[p.height[v]]++
+	}
+}
+
+// globalRelabelPreserve is a mid-run global relabel: it recomputes exact
+// heights and rebuilds the active buckets from current excesses.
+func (p *PushRelabelSolver) globalRelabelPreserve(s, t int32) {
+	p.globalRelabel(s, t)
+	n := int32(p.st.n)
+	for i := range p.bucketHead {
+		p.bucketHead[i] = -1
+	}
+	p.highest = 0
+	for v := int32(0); v < n; v++ {
+		if v != s && v != t && p.excess[v] > 0 && p.height[v] < n {
+			p.activate(v)
+		}
+	}
+}

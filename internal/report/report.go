@@ -1,0 +1,206 @@
+// Package report renders experiment results the way the paper presents
+// them: aligned text tables (Tables 1 and 2, the Figure 10 means) and
+// ASCII time-series charts standing in for Figures 2-14.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"kadre/internal/scenario"
+	"kadre/internal/simnet"
+	"kadre/internal/stats"
+)
+
+// WriteTable renders rows as an aligned text table with a header.
+func WriteTable(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table1 returns the paper's Table 1 (message-loss scenarios) as rows.
+func Table1() (header []string, rows [][]string) {
+	header = []string{"Loss l", "Ploss(1-way)", "Ploss(2-way)"}
+	for _, l := range simnet.Levels() {
+		rows = append(rows, []string{
+			l.String(),
+			fmt.Sprintf("%.1f%%", l.OneWayLoss()*100),
+			fmt.Sprintf("%.0f%%", l.TwoWayLoss()*100),
+		})
+	}
+	return header, rows
+}
+
+// Table2 aggregates Simulation E-H results into the paper's Table 2: mean
+// and relative variance of the minimum connectivity during the churn
+// phase, grouped by size, k, and churn rate.
+func Table2(results []*scenario.Result) (header []string, rows [][]string) {
+	header = []string{"Size", "k", "Churn", "Mean", "RV"}
+	for _, r := range results {
+		sum := r.ChurnWindowSummary()
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Config.Size),
+			fmt.Sprintf("%d", r.Config.K),
+			r.Config.Churn.String(),
+			fmt.Sprintf("%.2f", sum.Mean),
+			fmt.Sprintf("%.2f", sum.RV),
+		})
+	}
+	return header, rows
+}
+
+// MeansByK renders Figure 10-style rows: mean minimum connectivity during
+// churn for each run, keyed by the run name.
+func MeansByK(results []*scenario.Result) (header []string, rows [][]string) {
+	header = []string{"Run", "k", "alpha", "Churn", "MeanMinConn"}
+	for _, r := range results {
+		sum := r.ChurnWindowSummary()
+		alpha := r.Config.Alpha
+		if alpha == 0 {
+			alpha = 3
+		}
+		rows = append(rows, []string{
+			r.Config.Name,
+			fmt.Sprintf("%d", r.Config.K),
+			fmt.Sprintf("%d", alpha),
+			r.Config.Churn.String(),
+			fmt.Sprintf("%.2f", sum.Mean),
+		})
+	}
+	return header, rows
+}
+
+// SnapshotRows renders a run's full measurement series as table rows.
+func SnapshotRows(r *scenario.Result) (header []string, rows [][]string) {
+	header = []string{"t(min)", "n", "edges", "minConn", "avgConn", "symmetry"}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", p.Time.Minutes()),
+			fmt.Sprintf("%d", p.N),
+			fmt.Sprintf("%d", p.Edges),
+			fmt.Sprintf("%d", p.Min),
+			fmt.Sprintf("%.1f", p.Avg),
+			fmt.Sprintf("%.3f", p.Symmetry),
+		})
+	}
+	return header, rows
+}
+
+// Chart renders one or more series as an ASCII line chart, the terminal
+// stand-in for the paper's figures. Each series is drawn with its own
+// glyph; the legend maps glyphs to series names.
+func Chart(w io.Writer, title string, series []*stats.Series, height int) error {
+	if height <= 0 {
+		height = 16
+	}
+	const width = 72
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Establish ranges.
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	maxV := math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			any = true
+			t := p.T.Minutes()
+			if t < minT {
+				minT = t
+			}
+			if t > maxT {
+				maxT = t
+			}
+			if p.Value > maxV {
+				maxV = p.Value
+			}
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", title)
+		return err
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	if maxT <= minT {
+		maxT = minT + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x := int((p.T.Minutes() - minT) / (maxT - minT) * float64(width-1))
+			y := int(p.Value / maxV * float64(height-1))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				grid[row][x] = g
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		val := maxV * float64(height-1-i) / float64(height-1)
+		if _, err := fmt.Fprintf(w, "%7.1f |%s\n", val, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "         %-8.0f%*s\n", minT, width-8, fmt.Sprintf("%.0f min", maxT)); err != nil {
+		return err
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", glyphs[si%len(glyphs)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

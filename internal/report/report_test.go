@@ -1,0 +1,159 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kadre/internal/churn"
+	"kadre/internal/scenario"
+	"kadre/internal/stats"
+)
+
+func TestWriteTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTable(&buf, []string{"A", "LongHeader"}, [][]string{
+		{"x", "1"},
+		{"longer", "2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "A ") || !strings.Contains(lines[0], "LongHeader") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator line %q", lines[1])
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	header, rows := Table1()
+	if len(header) != 3 || len(rows) != 4 {
+		t.Fatalf("table shape %dx%d", len(header), len(rows))
+	}
+	want := [][]string{
+		{"none", "0.0%", "0%"},
+		{"low", "2.5%", "5%"},
+		{"medium", "13.4%", "25%"},
+		{"high", "29.3%", "50%"},
+	}
+	for i, row := range rows {
+		for j := range want[i] {
+			if row[j] != want[i][j] {
+				t.Fatalf("row %d = %v, want %v", i, row, want[i])
+			}
+		}
+	}
+}
+
+func fakeResult(name string, size, k int, rate churn.Rate, mins []int) *scenario.Result {
+	cfg := scenario.Config{
+		Name: name, Size: size, K: k, Churn: rate,
+		Setup: 30 * time.Minute, Stabilize: 90 * time.Minute,
+		ChurnPhase:       time.Duration(len(mins)*10) * time.Minute,
+		SnapshotInterval: 10 * time.Minute,
+	}
+	r := &scenario.Result{Config: cfg}
+	at := cfg.ChurnStart()
+	for _, m := range mins {
+		r.Points = append(r.Points, scenario.SnapshotStat{Time: at, N: size, Min: m, Avg: float64(2 * m)})
+		at += 10 * time.Minute
+	}
+	return r
+}
+
+func TestTable2Rows(t *testing.T) {
+	results := []*scenario.Result{
+		fakeResult("SimE/k=5", 250, 5, churn.Rate1_1, []int{4, 4, 2}),
+		fakeResult("SimG/k=5", 250, 5, churn.Rate10_10, []int{2, 1, 0}),
+	}
+	header, rows := Table2(results)
+	if header[3] != "Mean" || header[4] != "RV" {
+		t.Fatalf("header %v", header)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %v", rows)
+	}
+	if rows[0][0] != "250" || rows[0][1] != "5" || rows[0][2] != "1/1" {
+		t.Fatalf("row 0 = %v", rows[0])
+	}
+	// Mean of 4,4,2 = 3.33.
+	if rows[0][3] != "3.33" {
+		t.Fatalf("mean cell %q", rows[0][3])
+	}
+}
+
+func TestMeansByK(t *testing.T) {
+	results := []*scenario.Result{fakeResult("F10/small/churn1/1-a3/k=10", 100, 10, churn.Rate1_1, []int{9, 11})}
+	_, rows := MeansByK(results)
+	if len(rows) != 1 || rows[0][1] != "10" || rows[0][4] != "10.00" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Alpha defaults to 3 when unset.
+	if rows[0][2] != "3" {
+		t.Fatalf("alpha cell %q", rows[0][2])
+	}
+}
+
+func TestSnapshotRows(t *testing.T) {
+	r := fakeResult("x", 50, 5, churn.Rate{}, []int{3})
+	header, rows := SnapshotRows(r)
+	if len(header) != 6 || len(rows) != 1 {
+		t.Fatalf("shape %d/%d", len(header), len(rows))
+	}
+	if rows[0][3] != "3" {
+		t.Fatalf("min cell %q", rows[0][3])
+	}
+}
+
+func TestChart(t *testing.T) {
+	var s stats.Series
+	s.Name = "min(k=20)"
+	for i := 0; i <= 10; i++ {
+		s.MustAdd(time.Duration(i)*10*time.Minute, float64(i*2))
+	}
+	var buf bytes.Buffer
+	if err := Chart(&buf, "demo chart", []*stats.Series{&s}, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo chart") || !strings.Contains(out, "min(k=20)") {
+		t.Fatalf("chart output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("chart has no data glyphs")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, "empty", nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestChartMultiSeriesGlyphs(t *testing.T) {
+	var a, b stats.Series
+	a.Name, b.Name = "a", "b"
+	a.MustAdd(0, 1)
+	a.MustAdd(time.Hour, 5)
+	b.MustAdd(0, 10)
+	b.MustAdd(time.Hour, 2)
+	var buf bytes.Buffer
+	if err := Chart(&buf, "two", []*stats.Series{&a, &b}, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("expected two glyph kinds:\n%s", out)
+	}
+}

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kadre/internal/churn"
+	"kadre/internal/connectivity"
+	"kadre/internal/eventsim"
+	"kadre/internal/simnet"
+	"kadre/internal/snapshot"
+	"kadre/internal/traffic"
+)
+
+// Run executes one simulation: randomized setup joins, stabilization,
+// optional traffic and churn, periodic connectivity snapshots, exactly as
+// described in §5.3-§5.4 of the paper.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	sim := eventsim.New(cfg.Seed)
+	net := simnet.New(sim, simnet.Config{
+		Latency: simnet.UniformLatency{Min: 10 * time.Millisecond, Max: 100 * time.Millisecond},
+		Loss:    cfg.Loss.Model(),
+	})
+	pop := &population{sim: sim, net: net, cfg: cfg.kademliaConfig(), nextAddr: 1}
+
+	// Setup phase: every node joins at a uniformly random instant within
+	// [0, Setup), bootstrapping from a random already-joined node (§5.3).
+	joinTimes := make([]time.Duration, cfg.Size)
+	for i := range joinTimes {
+		joinTimes[i] = time.Duration(sim.Rand().Int63n(int64(cfg.Setup)))
+	}
+	sort.Slice(joinTimes, func(i, j int) bool { return joinTimes[i] < joinTimes[j] })
+	var spawnErr error
+	for _, at := range joinTimes {
+		if _, err := sim.ScheduleAt(at, func() {
+			if _, err := pop.spawn(); err != nil && spawnErr == nil {
+				spawnErr = err
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("scenario: schedule join: %w", err)
+		}
+	}
+
+	// Traffic runs through all phases in the with-traffic scenarios.
+	var traff *traffic.Generator
+	if cfg.Traffic {
+		var err error
+		traff, err = traffic.NewGenerator(sim, pop.cfg.Bits, cfg.Workload, pop)
+		if err != nil {
+			return nil, err
+		}
+		if err := traff.Start(0, cfg.Total()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Churn begins at minute 120 (§5.4).
+	churnGen := churn.NewGenerator(sim, cfg.Churn, pop)
+	if !cfg.Churn.IsZero() {
+		if err := churnGen.Start(cfg.ChurnStart(), cfg.Total()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Connectivity snapshots: every SnapshotInterval, plus one at the very
+	// end of the run.
+	res := &Result{Config: cfg}
+	minAnalyzer, err := connectivity.NewAnalyzer(connectivity.Options{
+		SampleFraction: cfg.SampleFraction,
+		MinOnly:        true,
+		Workers:        cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap := func() {
+		s := snapshot.Capture(sim.Now(), pop.nodes)
+		point := SnapshotStat{Time: sim.Now(), N: s.N(), Edges: s.Graph.M()}
+		if s.N() > 1 {
+			point.Symmetry = s.Graph.SymmetryRatio()
+			point.Min = minAnalyzer.Analyze(s.Graph).Min
+			avgAnalyzer, aerr := connectivity.NewAnalyzer(connectivity.Options{
+				SampleFraction: cfg.SampleFraction,
+				Selection:      connectivity.UniformRandom,
+				SelectionSeed:  cfg.Seed + int64(len(res.Points)),
+				Workers:        cfg.Workers,
+			})
+			if aerr != nil {
+				panic(aerr) // options are statically valid
+			}
+			avgRes := avgAnalyzer.Analyze(s.Graph)
+			point.Avg = avgRes.Avg
+			if avgRes.Pairs == 0 {
+				point.Avg = float64(s.N() - 1)
+			}
+		}
+		res.Points = append(res.Points, point)
+		cfg.logf("%s t=%3.0fm n=%4d edges=%6d min=%3d avg=%6.1f sym=%.3f",
+			cfg.Name, sim.Now().Minutes(), point.N, point.Edges, point.Min, point.Avg, point.Symmetry)
+		if cfg.OnSnapshot != nil {
+			cfg.OnSnapshot(s, point)
+		}
+	}
+	for at := cfg.SnapshotInterval; at < cfg.Total(); at += cfg.SnapshotInterval {
+		if _, err := sim.ScheduleAt(at, snap); err != nil {
+			return nil, fmt.Errorf("scenario: schedule snapshot: %w", err)
+		}
+	}
+	if _, err := sim.ScheduleAt(cfg.Total(), snap); err != nil {
+		return nil, fmt.Errorf("scenario: schedule final snapshot: %w", err)
+	}
+
+	sim.RunUntil(cfg.Total())
+	if spawnErr != nil {
+		return nil, spawnErr
+	}
+	if errs := churnGen.Errs(); len(errs) > 0 {
+		return nil, fmt.Errorf("scenario: churn additions failed: %w", errs[0])
+	}
+
+	res.ChurnAdded = churnGen.Added()
+	res.ChurnRemoved = churnGen.Removed()
+	if traff != nil {
+		res.TrafficOps = traff.Lookups() + traff.Stores()
+	}
+	res.Network = net.Stats()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunAll executes a slice of configs sequentially and returns the results
+// in order.
+func RunAll(cfgs []Config) ([]*Result, error) {
+	out := make([]*Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", cfg.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

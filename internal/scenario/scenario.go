@@ -1,0 +1,255 @@
+// Package scenario orchestrates the paper's simulation methodology: the
+// three phases (setup 0-30 min with randomized joins, stabilization until
+// minute 120, then churn), the eight experiment dimensions (network size,
+// churn, traffic, message loss, k, alpha, b, s), periodic connectivity
+// snapshots, and the named Simulations A-L behind every figure and table
+// of the evaluation section.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"kadre/internal/churn"
+	"kadre/internal/eventsim"
+	"kadre/internal/kademlia"
+	"kadre/internal/simnet"
+	"kadre/internal/snapshot"
+	"kadre/internal/stats"
+	"kadre/internal/traffic"
+)
+
+// Defaults for the paper's simulation phases (§5.4).
+const (
+	DefaultSetup            = 30 * time.Minute
+	DefaultStabilize        = 90 * time.Minute
+	DefaultSnapshotInterval = 20 * time.Minute
+	// DefaultSampleFraction is the paper's connectivity sampling c.
+	DefaultSampleFraction = 0.02
+)
+
+// Config describes one simulation run (one curve bundle of one figure).
+type Config struct {
+	// Name labels the run in reports, e.g. "SimE/k=20".
+	Name string
+	// Seed makes the run reproducible.
+	Seed int64
+	// Size is the initial network size (paper: 250 and 2500).
+	Size int
+
+	// Kademlia parameters (zero values take the paper defaults).
+	K         int
+	Alpha     int
+	Bits      int
+	Staleness int
+
+	// Loss is the Table 1 message-loss scenario; zero means none.
+	Loss simnet.LossLevel
+	// Churn is the add/remove rate applied during the churn phase.
+	Churn churn.Rate
+	// Traffic toggles the 10-lookups + 1-dissemination per node per
+	// minute workload.
+	Traffic bool
+	// Workload overrides traffic rates when Traffic is set.
+	Workload traffic.Workload
+
+	// Phase durations; zero values take the paper defaults (30/90 min).
+	Setup      time.Duration
+	Stabilize  time.Duration
+	ChurnPhase time.Duration
+
+	// SnapshotInterval is the connectivity sampling period.
+	SnapshotInterval time.Duration
+	// SampleFraction is the connectivity analysis sampling c.
+	SampleFraction float64
+	// Workers bounds the analysis worker pool (0 = GOMAXPROCS).
+	Workers int
+
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+	// OnSnapshot, when set, receives every captured snapshot together
+	// with its analysis, e.g. for persisting graphs to disk.
+	OnSnapshot func(s *snapshot.Snapshot, stat SnapshotStat)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Setup == 0 {
+		c.Setup = DefaultSetup
+	}
+	if c.Stabilize == 0 {
+		c.Stabilize = DefaultStabilize
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = DefaultSnapshotInterval
+	}
+	if c.SampleFraction == 0 {
+		c.SampleFraction = DefaultSampleFraction
+	}
+	if c.Loss == 0 {
+		c.Loss = simnet.LossNone
+	}
+	return c
+}
+
+// Validate checks a defaulted config.
+func (c Config) Validate() error {
+	if c.Size < 2 {
+		return fmt.Errorf("scenario: size %d must be >= 2", c.Size)
+	}
+	if c.Setup <= 0 || c.Stabilize < 0 || c.ChurnPhase < 0 {
+		return fmt.Errorf("scenario: invalid phase durations %v/%v/%v", c.Setup, c.Stabilize, c.ChurnPhase)
+	}
+	if c.SnapshotInterval <= 0 {
+		return fmt.Errorf("scenario: snapshot interval must be positive")
+	}
+	if !c.Churn.IsZero() && c.ChurnPhase == 0 {
+		return fmt.Errorf("scenario: churn rate %v with zero churn phase", c.Churn)
+	}
+	return c.kademliaConfig().Validate()
+}
+
+// ChurnStart returns the virtual time at which the churn phase begins
+// (minute 120 under paper defaults).
+func (c Config) ChurnStart() time.Duration { return c.Setup + c.Stabilize }
+
+// Total returns the full duration of the run.
+func (c Config) Total() time.Duration { return c.Setup + c.Stabilize + c.ChurnPhase }
+
+func (c Config) kademliaConfig() kademlia.Config {
+	return kademlia.Config{
+		Bits:           c.Bits,
+		K:              c.K,
+		Alpha:          c.Alpha,
+		StalenessLimit: c.Staleness,
+	}.WithDefaults()
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// SnapshotStat is the per-snapshot measurement: the paper's plotted
+// quantities at one instant.
+type SnapshotStat struct {
+	Time     time.Duration
+	N        int     // live network size
+	Edges    int     // routing-table edges
+	Symmetry float64 // fraction of edges with a reverse edge
+	Min      int     // minimum connectivity (smallest-out-degree sampled)
+	Avg      float64 // average pair connectivity (uniform sampled)
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config       Config
+	Points       []SnapshotStat
+	ChurnAdded   int
+	ChurnRemoved int
+	TrafficOps   int
+	Network      simnet.Stats
+	Elapsed      time.Duration // wall-clock cost of the run
+}
+
+// MinSeries returns the minimum-connectivity time series.
+func (r *Result) MinSeries() *stats.Series {
+	s := &stats.Series{Name: r.Config.Name + "/min"}
+	for _, p := range r.Points {
+		s.MustAdd(p.Time, float64(p.Min))
+	}
+	return s
+}
+
+// AvgSeries returns the average-connectivity time series.
+func (r *Result) AvgSeries() *stats.Series {
+	s := &stats.Series{Name: r.Config.Name + "/avg"}
+	for _, p := range r.Points {
+		s.MustAdd(p.Time, p.Avg)
+	}
+	return s
+}
+
+// SizeSeries returns the live-network-size time series.
+func (r *Result) SizeSeries() *stats.Series {
+	s := &stats.Series{Name: r.Config.Name + "/size"}
+	for _, p := range r.Points {
+		s.MustAdd(p.Time, float64(p.N))
+	}
+	return s
+}
+
+// ChurnWindowSummary summarizes the minimum connectivity during the churn
+// phase — the quantity behind Table 2 and Figure 10.
+func (r *Result) ChurnWindowSummary() stats.Summary {
+	return stats.Summarize(r.MinSeries().Window(r.Config.ChurnStart(), r.Config.Total()))
+}
+
+// population implements churn.Population and traffic.Population over the
+// evolving node set.
+type population struct {
+	sim      *eventsim.Simulator
+	net      *simnet.Network
+	cfg      kademlia.Config
+	nodes    []*kademlia.Node
+	nextAddr simnet.Addr
+}
+
+var (
+	_ churn.Population   = (*population)(nil)
+	_ traffic.Population = (*population)(nil)
+)
+
+// LiveNodes implements traffic.Population.
+func (p *population) LiveNodes() []*kademlia.Node {
+	out := make([]*kademlia.Node, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		if n.Running() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RemoveRandomNode implements churn.Population: a uniformly chosen live
+// node leaves silently.
+func (p *population) RemoveRandomNode() bool {
+	live := p.LiveNodes()
+	if len(live) == 0 {
+		return false
+	}
+	live[p.sim.Rand().Intn(len(live))].Leave()
+	return true
+}
+
+// AddNode implements churn.Population: a fresh node starts and joins via a
+// random live bootstrap node.
+func (p *population) AddNode() error {
+	_, err := p.spawn()
+	return err
+}
+
+// spawn creates, starts, and (when a bootstrap exists) joins one node.
+func (p *population) spawn() (*kademlia.Node, error) {
+	live := p.LiveNodes()
+	addr := p.nextAddr
+	p.nextAddr++
+	node, err := kademlia.NewNode(p.cfg, addr, p.net)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: spawn: %w", err)
+	}
+	if err := node.Start(); err != nil {
+		return nil, fmt.Errorf("scenario: spawn: %w", err)
+	}
+	p.nodes = append(p.nodes, node)
+	if len(live) > 0 {
+		bootstrap := live[p.sim.Rand().Intn(len(live))]
+		if err := node.Join(bootstrap.Contact(), nil); err != nil {
+			return nil, fmt.Errorf("scenario: join: %w", err)
+		}
+	}
+	return node, nil
+}

@@ -1,0 +1,203 @@
+// Package simnet simulates a message-passing network on top of the
+// discrete-event kernel: hosts attach under integer addresses, messages
+// incur configurable latency, and a loss model drops messages one-way with
+// a configurable probability. It plays the role of PeerSim's transport
+// layer in the paper, including the Table 1 message-loss scenarios.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"kadre/internal/eventsim"
+)
+
+// Addr is a network address. The paper derives Kademlia identifiers from
+// network addresses by hashing; simnet keeps addresses opaque integers.
+type Addr uint64
+
+// Handler receives messages delivered to an attached host.
+type Handler interface {
+	// Deliver is invoked by the network when a message arrives. It runs on
+	// the simulation goroutine; implementations must not block.
+	Deliver(from Addr, payload any)
+}
+
+// Stats counts network-level message outcomes.
+type Stats struct {
+	Sent      uint64 // messages handed to the network
+	Delivered uint64 // messages delivered to an attached handler
+	Lost      uint64 // messages dropped by the loss model
+	NoRoute   uint64 // messages whose destination was detached at delivery
+}
+
+// LatencyModel determines per-message one-way delay.
+type LatencyModel interface {
+	Delay(r *rand.Rand, from, to Addr) time.Duration
+}
+
+// ConstantLatency delays every message by D.
+type ConstantLatency struct{ D time.Duration }
+
+// Delay implements LatencyModel.
+func (c ConstantLatency) Delay(*rand.Rand, Addr, Addr) time.Duration { return c.D }
+
+// UniformLatency delays each message by a uniform draw from [Min, Max].
+type UniformLatency struct{ Min, Max time.Duration }
+
+// Delay implements LatencyModel.
+func (u UniformLatency) Delay(r *rand.Rand, _, _ Addr) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// LossModel decides whether a single one-way message transmission is lost.
+type LossModel interface {
+	Drop(r *rand.Rand, from, to Addr) bool
+}
+
+// NoLoss delivers every message.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(*rand.Rand, Addr, Addr) bool { return false }
+
+// UniformLoss drops each one-way message independently with probability P.
+// The paper's Table 1 scenarios are uniform one-way losses chosen so the
+// two-way (request/response) failure probability hits a target:
+// P2way = 1 - (1-P)^2.
+type UniformLoss struct{ P float64 }
+
+// Drop implements LossModel.
+func (u UniformLoss) Drop(r *rand.Rand, _, _ Addr) bool {
+	return u.P > 0 && r.Float64() < u.P
+}
+
+// TwoWayFailure returns the probability that a request/response exchange
+// fails under one-way loss probability p: 1 - (1-p)^2.
+func TwoWayFailure(p float64) float64 { return 1 - (1-p)*(1-p) }
+
+// Channel identifies a directed communication channel.
+type Channel struct{ From, To Addr }
+
+// ChannelLoss overlays per-channel disturbance probabilities on a base
+// model, modelling the system-model attacker who disturbs specific
+// communication channels. A message is dropped if either the base model or
+// the channel disturbance drops it.
+type ChannelLoss struct {
+	Base      LossModel
+	Disturbed map[Channel]float64
+}
+
+// Drop implements LossModel.
+func (c ChannelLoss) Drop(r *rand.Rand, from, to Addr) bool {
+	if c.Base != nil && c.Base.Drop(r, from, to) {
+		return true
+	}
+	if p, ok := c.Disturbed[Channel{From: from, To: to}]; ok && r.Float64() < p {
+		return true
+	}
+	return false
+}
+
+// Config parameterizes a Network. Zero-value fields fall back to a constant
+// 50 ms latency and no loss.
+type Config struct {
+	Latency LatencyModel
+	Loss    LossModel
+}
+
+// Network is a simulated message-passing network. It is driven entirely by
+// the simulation goroutine and is not safe for concurrent use.
+type Network struct {
+	sim     *eventsim.Simulator
+	latency LatencyModel
+	loss    LossModel
+	hosts   map[Addr]Handler
+	stats   Stats
+}
+
+// New builds a network on the given simulator.
+func New(sim *eventsim.Simulator, cfg Config) *Network {
+	if cfg.Latency == nil {
+		cfg.Latency = ConstantLatency{D: 50 * time.Millisecond}
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = NoLoss{}
+	}
+	return &Network{
+		sim:     sim,
+		latency: cfg.Latency,
+		loss:    cfg.Loss,
+		hosts:   make(map[Addr]Handler),
+	}
+}
+
+// Sim returns the simulator driving this network.
+func (n *Network) Sim() *eventsim.Simulator { return n.sim }
+
+// Stats returns a copy of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetLoss replaces the loss model. Experiments use this to begin or end a
+// disturbance at a phase boundary.
+func (n *Network) SetLoss(m LossModel) {
+	if m == nil {
+		m = NoLoss{}
+	}
+	n.loss = m
+}
+
+// Attach registers a handler under an address. Attaching an address twice
+// is an error: it would silently hijack traffic.
+func (n *Network) Attach(addr Addr, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("simnet: attach %d: nil handler", addr)
+	}
+	if _, ok := n.hosts[addr]; ok {
+		return fmt.Errorf("simnet: attach %d: address already attached", addr)
+	}
+	n.hosts[addr] = h
+	return nil
+}
+
+// Detach removes the handler for an address, modelling a node crash or
+// departure. Messages in flight to the address are dropped at delivery
+// time. Detaching an unknown address is a no-op.
+func (n *Network) Detach(addr Addr) {
+	delete(n.hosts, addr)
+}
+
+// Attached reports whether an address currently has a handler.
+func (n *Network) Attached(addr Addr) bool {
+	_, ok := n.hosts[addr]
+	return ok
+}
+
+// NumAttached returns the number of attached hosts.
+func (n *Network) NumAttached() int { return len(n.hosts) }
+
+// Send transmits payload from one address to another, subject to the loss
+// and latency models. Delivery, if it happens, is a future simulation
+// event. Send never blocks and reports nothing to the sender: like UDP,
+// loss is only observable through missing responses.
+func (n *Network) Send(from, to Addr, payload any) {
+	n.stats.Sent++
+	if n.loss.Drop(n.sim.Rand(), from, to) {
+		n.stats.Lost++
+		return
+	}
+	delay := n.latency.Delay(n.sim.Rand(), from, to)
+	n.sim.MustSchedule(delay, func() {
+		h, ok := n.hosts[to]
+		if !ok {
+			n.stats.NoRoute++
+			return
+		}
+		n.stats.Delivered++
+		h.Deliver(from, payload)
+	})
+}

@@ -1,0 +1,251 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kadre/internal/eventsim"
+)
+
+type recorder struct {
+	msgs []recorded
+}
+
+type recorded struct {
+	from    Addr
+	payload any
+	at      time.Duration
+}
+
+type recHandler struct {
+	rec *recorder
+	sim *eventsim.Simulator
+}
+
+func (h *recHandler) Deliver(from Addr, payload any) {
+	h.rec.msgs = append(h.rec.msgs, recorded{from: from, payload: payload, at: h.sim.Now()})
+}
+
+func newNet(t *testing.T, cfg Config) (*eventsim.Simulator, *Network) {
+	t.Helper()
+	sim := eventsim.New(1)
+	return sim, New(sim, cfg)
+}
+
+func TestDeliveryWithLatency(t *testing.T) {
+	sim, net := newNet(t, Config{Latency: ConstantLatency{D: 30 * time.Millisecond}})
+	rec := &recorder{}
+	if err := net.Attach(2, &recHandler{rec: rec, sim: sim}); err != nil {
+		t.Fatal(err)
+	}
+	net.Send(1, 2, "hello")
+	sim.Run()
+	if len(rec.msgs) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(rec.msgs))
+	}
+	m := rec.msgs[0]
+	if m.from != 1 || m.payload != "hello" || m.at != 30*time.Millisecond {
+		t.Fatalf("got %+v", m)
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Lost != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	_, net := newNet(t, Config{})
+	rec := &recorder{}
+	h := &recHandler{rec: rec}
+	if err := net.Attach(1, nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+	if err := net.Attach(1, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Attach(1, h); err == nil {
+		t.Error("double attach should fail")
+	}
+}
+
+func TestDetachDropsInFlight(t *testing.T) {
+	sim, net := newNet(t, Config{Latency: ConstantLatency{D: time.Second}})
+	rec := &recorder{}
+	if err := net.Attach(2, &recHandler{rec: rec, sim: sim}); err != nil {
+		t.Fatal(err)
+	}
+	net.Send(1, 2, "x")
+	net.Detach(2)
+	sim.Run()
+	if len(rec.msgs) != 0 {
+		t.Fatal("message delivered to detached host")
+	}
+	if st := net.Stats(); st.NoRoute != 1 {
+		t.Fatalf("NoRoute = %d, want 1", st.NoRoute)
+	}
+	if net.Attached(2) {
+		t.Error("host still attached after Detach")
+	}
+}
+
+func TestSendToUnknownAddress(t *testing.T) {
+	sim, net := newNet(t, Config{})
+	net.Send(1, 99, "x")
+	sim.Run()
+	if st := net.Stats(); st.NoRoute != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := UniformLatency{Min: 10 * time.Millisecond, Max: 100 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := m.Delay(r, 1, 2)
+		if d < m.Min || d > m.Max {
+			t.Fatalf("delay %v outside [%v, %v]", d, m.Min, m.Max)
+		}
+	}
+	degenerate := UniformLatency{Min: 5 * time.Millisecond, Max: 5 * time.Millisecond}
+	if d := degenerate.Delay(r, 1, 2); d != 5*time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", d)
+	}
+}
+
+func TestUniformLossRate(t *testing.T) {
+	sim, net := newNet(t, Config{Loss: UniformLoss{P: 0.25}, Latency: ConstantLatency{}})
+	rec := &recorder{}
+	if err := net.Attach(2, &recHandler{rec: rec, sim: sim}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		net.Send(1, 2, i)
+	}
+	sim.Run()
+	got := float64(net.Stats().Lost) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("observed loss rate %.4f, want ~0.25", got)
+	}
+	if int(net.Stats().Delivered) != len(rec.msgs) {
+		t.Fatal("delivered counter does not match handler invocations")
+	}
+}
+
+func TestChannelLoss(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	m := ChannelLoss{
+		Base:      NoLoss{},
+		Disturbed: map[Channel]float64{{From: 1, To: 2}: 1.0},
+	}
+	if !m.Drop(r, 1, 2) {
+		t.Error("fully disturbed channel should drop")
+	}
+	if m.Drop(r, 2, 1) {
+		t.Error("reverse direction should not be disturbed")
+	}
+	if m.Drop(r, 3, 4) {
+		t.Error("unrelated channel should not drop")
+	}
+	withBase := ChannelLoss{Base: UniformLoss{P: 1.0}}
+	if !withBase.Drop(r, 5, 6) {
+		t.Error("base model drop should propagate")
+	}
+}
+
+func TestTable1LossScenarios(t *testing.T) {
+	// Table 1 of the paper: one-way and two-way loss probabilities.
+	tests := []struct {
+		level     LossLevel
+		oneWay    float64
+		twoWay    float64
+		tolerance float64
+	}{
+		{LossNone, 0.0, 0.0, 0},
+		{LossLow, 0.025, 0.05, 0.001},
+		{LossMedium, 0.134, 0.25, 0.002},
+		{LossHigh, 0.293, 0.50, 0.001},
+	}
+	for _, tt := range tests {
+		t.Run(tt.level.String(), func(t *testing.T) {
+			if got := tt.level.OneWayLoss(); got != tt.oneWay {
+				t.Errorf("OneWayLoss = %v, want %v", got, tt.oneWay)
+			}
+			if got := tt.level.TwoWayLoss(); math.Abs(got-tt.twoWay) > tt.tolerance {
+				t.Errorf("TwoWayLoss = %v, want ~%v", got, tt.twoWay)
+			}
+		})
+	}
+}
+
+func TestParseLossLevel(t *testing.T) {
+	for _, l := range Levels() {
+		got, err := ParseLossLevel(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLossLevel(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := ParseLossLevel("bogus"); err == nil {
+		t.Error("expected error for unknown level")
+	}
+	if l, err := ParseLossLevel("med"); err != nil || l != LossMedium {
+		t.Error("'med' should parse as medium")
+	}
+}
+
+func TestLossLevelModel(t *testing.T) {
+	if _, ok := LossNone.Model().(NoLoss); !ok {
+		t.Error("LossNone should use NoLoss model")
+	}
+	m, ok := LossHigh.Model().(UniformLoss)
+	if !ok || m.P != 0.293 {
+		t.Errorf("LossHigh model = %#v", m)
+	}
+}
+
+func TestSetLoss(t *testing.T) {
+	sim, net := newNet(t, Config{Latency: ConstantLatency{}})
+	rec := &recorder{}
+	if err := net.Attach(2, &recHandler{rec: rec, sim: sim}); err != nil {
+		t.Fatal(err)
+	}
+	net.SetLoss(UniformLoss{P: 1.0})
+	net.Send(1, 2, "dropped")
+	net.SetLoss(nil) // resets to NoLoss
+	net.Send(1, 2, "kept")
+	sim.Run()
+	if len(rec.msgs) != 1 || rec.msgs[0].payload != "kept" {
+		t.Fatalf("messages = %+v", rec.msgs)
+	}
+}
+
+func TestDeliveryOrderPreservedUnderConstantLatency(t *testing.T) {
+	sim, net := newNet(t, Config{Latency: ConstantLatency{D: 10 * time.Millisecond}})
+	rec := &recorder{}
+	if err := net.Attach(2, &recHandler{rec: rec, sim: sim}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		net.Send(1, 2, i)
+	}
+	sim.Run()
+	for i, m := range rec.msgs {
+		if m.payload != i {
+			t.Fatalf("message %d arrived out of order: %v", i, m.payload)
+		}
+	}
+}
+
+func TestTwoWayFailureFormula(t *testing.T) {
+	if got := TwoWayFailure(0); got != 0 {
+		t.Errorf("TwoWayFailure(0) = %v", got)
+	}
+	if got := TwoWayFailure(1); got != 1 {
+		t.Errorf("TwoWayFailure(1) = %v", got)
+	}
+	if got := TwoWayFailure(0.5); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("TwoWayFailure(0.5) = %v, want 0.75", got)
+	}
+}

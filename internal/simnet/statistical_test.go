@@ -1,0 +1,47 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Statistical validation of every Table 1 level against its published
+// two-way failure probability, the same check BenchmarkTable1MessageLoss
+// reports as metrics.
+func TestTwoWayFailureRatesAllLevels(t *testing.T) {
+	const trials = 200000
+	for _, level := range Levels() {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(level)))
+			model := level.Model()
+			failures := 0
+			for i := 0; i < trials; i++ {
+				if model.Drop(r, 1, 2) || model.Drop(r, 2, 1) {
+					failures++
+				}
+			}
+			got := float64(failures) / trials
+			want := level.TwoWayLoss()
+			if math.Abs(got-want) > 0.005 {
+				t.Fatalf("measured two-way failure %.4f, want %.4f", got, want)
+			}
+		})
+	}
+}
+
+func TestUniformLatencyMeanCentered(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	m := UniformLatency{Min: 10_000_000, Max: 100_000_000} // 10-100ms in ns
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(m.Delay(r, 1, 2))
+	}
+	mean := sum / n
+	want := float64(m.Min+m.Max) / 2
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("mean latency %.0f, want ~%.0f", mean, want)
+	}
+}

@@ -1,0 +1,169 @@
+// Package stats provides the time-series plumbing and summary statistics
+// behind the paper's plots and Table 2: per-snapshot series of
+// connectivity values, phase windows, mean, population variance, and the
+// Relative Variance (variance divided by mean) the paper defines to
+// quantify churn-induced oscillation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T     time.Duration // virtual time of the sample
+	Value float64
+}
+
+// Series is a time-ordered sequence of samples.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample. Samples must be appended in non-decreasing time
+// order, matching how snapshots are produced.
+func (s *Series) Add(t time.Duration, v float64) error {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		return fmt.Errorf("stats: sample at %v precedes last sample at %v", t, s.Points[n-1].T)
+	}
+	s.Points = append(s.Points, Point{T: t, Value: v})
+	return nil
+}
+
+// MustAdd is Add for call sites that guarantee ordering.
+func (s *Series) MustAdd(t time.Duration, v float64) {
+	if err := s.Add(t, v); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Values returns the sample values in time order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Window returns the sub-series with from <= T <= to. The paper's Table 2
+// aggregates only the churn phase; Window carves that out.
+func (s *Series) Window(from, to time.Duration) *Series {
+	out := &Series{Name: s.Name}
+	lo := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= from })
+	for _, p := range s.Points[lo:] {
+		if p.T > to {
+			break
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out
+}
+
+// At returns the value of the latest sample with T <= t.
+func (s *Series) At(t time.Duration) (float64, bool) {
+	idx := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t }) - 1
+	if idx < 0 {
+		return 0, false
+	}
+	return s.Points[idx].Value, true
+}
+
+// Mean returns the arithmetic mean of values, or NaN for an empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Variance returns the population variance, or NaN for an empty input.
+// The paper's Relative Variance divides this by the mean.
+func Variance(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	m := Mean(values)
+	var sum float64
+	for _, v := range values {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(values))
+}
+
+// RelativeVariance returns Variance/Mean (Table 2's RV). Following the
+// paper's convention for the all-zero connectivity rows ("0.00"), a zero
+// mean yields 0 rather than NaN.
+func RelativeVariance(values []float64) float64 {
+	m := Mean(values)
+	if math.IsNaN(m) {
+		return math.NaN()
+	}
+	if m == 0 {
+		return 0
+	}
+	return Variance(values) / m
+}
+
+// Min returns the smallest value, or NaN for an empty input.
+func Min(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	min := values[0]
+	for _, v := range values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest value, or NaN for an empty input.
+func Max(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	max := values[0]
+	for _, v := range values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Summary bundles the statistics the paper reports for a series window.
+type Summary struct {
+	Count int
+	Mean  float64
+	Var   float64
+	RV    float64
+	Min   float64
+	Max   float64
+}
+
+// Summarize computes a Summary over a series.
+func Summarize(s *Series) Summary {
+	v := s.Values()
+	return Summary{
+		Count: len(v),
+		Mean:  Mean(v),
+		Var:   Variance(v),
+		RV:    RelativeVariance(v),
+		Min:   Min(v),
+		Max:   Max(v),
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesAddOrdering(t *testing.T) {
+	var s Series
+	if err := s.Add(time.Minute, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(time.Minute, 2); err != nil {
+		t.Fatal(err) // equal times allowed
+	}
+	if err := s.Add(30*time.Second, 3); err == nil {
+		t.Fatal("out-of-order add should fail")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	var s Series
+	for i := 0; i <= 10; i++ {
+		s.MustAdd(time.Duration(i)*time.Minute, float64(i))
+	}
+	w := s.Window(3*time.Minute, 7*time.Minute)
+	if w.Len() != 5 {
+		t.Fatalf("window Len = %d, want 5", w.Len())
+	}
+	if w.Points[0].Value != 3 || w.Points[4].Value != 7 {
+		t.Fatalf("window = %+v", w.Points)
+	}
+	if empty := s.Window(20*time.Minute, 30*time.Minute); empty.Len() != 0 {
+		t.Fatal("window beyond data should be empty")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	var s Series
+	s.MustAdd(time.Minute, 10)
+	s.MustAdd(5*time.Minute, 50)
+	if _, ok := s.At(30 * time.Second); ok {
+		t.Error("At before first sample should report false")
+	}
+	if v, ok := s.At(time.Minute); !ok || v != 10 {
+		t.Errorf("At(1m) = %v, %v", v, ok)
+	}
+	if v, ok := s.At(3 * time.Minute); !ok || v != 10 {
+		t.Errorf("At(3m) = %v, %v (should hold last value)", v, ok)
+	}
+	if v, ok := s.At(time.Hour); !ok || v != 50 {
+		t.Errorf("At(1h) = %v, %v", v, ok)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	tests := []struct {
+		name     string
+		in       []float64
+		mean     float64
+		variance float64
+	}{
+		{"single", []float64{4}, 4, 0},
+		{"constant", []float64{2, 2, 2, 2}, 2, 0},
+		{"simple", []float64{1, 2, 3, 4, 5}, 3, 2},
+		{"negative", []float64{-1, 1}, 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); math.Abs(got-tt.mean) > 1e-12 {
+				t.Errorf("Mean = %v, want %v", got, tt.mean)
+			}
+			if got := Variance(tt.in); math.Abs(got-tt.variance) > 1e-12 {
+				t.Errorf("Variance = %v, want %v", got, tt.variance)
+			}
+		})
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("empty input should yield NaN")
+	}
+}
+
+func TestRelativeVariance(t *testing.T) {
+	// Table 2 semantics: RV = Variance / Mean; all-zero series reports 0.
+	if got := RelativeVariance([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("RV of zeros = %v, want 0", got)
+	}
+	in := []float64{1, 2, 3, 4, 5}
+	want := Variance(in) / Mean(in)
+	if got := RelativeVariance(in); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RV = %v, want %v", got, want)
+	}
+	if !math.IsNaN(RelativeVariance(nil)) {
+		t.Error("RV of empty input should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	in := []float64{3, -1, 4, 1, 5}
+	if Min(in) != -1 || Max(in) != 5 {
+		t.Errorf("Min/Max = %v/%v", Min(in), Max(in))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty input should yield NaN")
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		return Variance(vals) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		m := Mean(vals)
+		return m >= Min(vals)-1e-9 && m <= Max(vals)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Series
+	s.Name = "min-connectivity"
+	for i, v := range []float64{10, 12, 8, 10} {
+		s.MustAdd(time.Duration(i)*time.Minute, v)
+	}
+	sum := Summarize(&s)
+	if sum.Count != 4 || sum.Mean != 10 || sum.Min != 8 || sum.Max != 12 {
+		t.Fatalf("Summary = %+v", sum)
+	}
+	if math.Abs(sum.Var-2) > 1e-12 || math.Abs(sum.RV-0.2) > 1e-12 {
+		t.Fatalf("Var/RV = %v/%v, want 2/0.2", sum.Var, sum.RV)
+	}
+}

@@ -1,0 +1,155 @@
+// Package traffic generates the paper's data-traffic workload: in the
+// with-traffic scenarios every node performs 10 lookup procedures and 1
+// dissemination procedure per minute, each at a uniformly random instant
+// within the minute (§5.3). Lookups target data-object keys drawn from a
+// shared key pool; disseminations store small payloads under such keys.
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"kadre/internal/eventsim"
+	"kadre/internal/id"
+	"kadre/internal/kademlia"
+)
+
+// Default per-node per-minute operation rates from §5.3.
+const (
+	DefaultLookupsPerMinute = 10
+	DefaultStoresPerMinute  = 1
+	// DefaultKeyPoolSize bounds the shared universe of data-object keys.
+	DefaultKeyPoolSize = 256
+)
+
+// Workload parameterizes the generator. Zero fields take the defaults
+// above.
+type Workload struct {
+	LookupsPerMinute int
+	StoresPerMinute  int
+	KeyPoolSize      int
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.LookupsPerMinute == 0 {
+		w.LookupsPerMinute = DefaultLookupsPerMinute
+	}
+	if w.StoresPerMinute == 0 {
+		w.StoresPerMinute = DefaultStoresPerMinute
+	}
+	if w.KeyPoolSize == 0 {
+		w.KeyPoolSize = DefaultKeyPoolSize
+	}
+	return w
+}
+
+// Population yields the nodes that should generate traffic.
+type Population interface {
+	// LiveNodes returns the currently running nodes. The slice is not
+	// retained across events.
+	LiveNodes() []*kademlia.Node
+}
+
+// Generator drives the workload.
+type Generator struct {
+	sim      *eventsim.Simulator
+	workload Workload
+	pop      Population
+	keys     []id.ID
+	until    time.Duration
+	timer    *eventsim.Timer
+
+	lookups int
+	stores  int
+}
+
+// NewGenerator builds a traffic generator whose key pool is drawn with the
+// simulator's RNG in the given identifier space.
+func NewGenerator(sim *eventsim.Simulator, bits int, w Workload, pop Population) (*Generator, error) {
+	if err := id.CheckBits(bits); err != nil {
+		return nil, err
+	}
+	w = w.withDefaults()
+	if w.LookupsPerMinute < 0 || w.StoresPerMinute < 0 || w.KeyPoolSize < 1 {
+		return nil, fmt.Errorf("traffic: invalid workload %+v", w)
+	}
+	g := &Generator{sim: sim, workload: w, pop: pop}
+	g.keys = make([]id.ID, w.KeyPoolSize)
+	for i := range g.keys {
+		g.keys[i] = id.Random(bits, sim.Rand())
+	}
+	return g, nil
+}
+
+// Lookups reports how many lookup procedures have been dispatched.
+func (g *Generator) Lookups() int { return g.lookups }
+
+// Stores reports how many dissemination procedures have been dispatched.
+func (g *Generator) Stores() int { return g.stores }
+
+// Keys exposes the key pool (for examples that want to read data back).
+func (g *Generator) Keys() []id.ID {
+	return append([]id.ID(nil), g.keys...)
+}
+
+// Start schedules traffic from `from` until `until`.
+func (g *Generator) Start(from, until time.Duration) error {
+	if until < from {
+		return fmt.Errorf("traffic: window ends %v before it starts %v", until, from)
+	}
+	if from < g.sim.Now() {
+		return fmt.Errorf("traffic: window starts %v in the past (now %v)", from, g.sim.Now())
+	}
+	g.until = until
+	var err error
+	g.timer, err = g.sim.ScheduleAt(from, g.minute)
+	if err != nil {
+		return fmt.Errorf("traffic: %w", err)
+	}
+	return nil
+}
+
+// Stop cancels future minute ticks.
+func (g *Generator) Stop() {
+	if g.timer != nil {
+		g.timer.Cancel()
+		g.timer = nil
+	}
+}
+
+func (g *Generator) minute() {
+	now := g.sim.Now()
+	if now >= g.until {
+		return
+	}
+	r := g.sim.Rand()
+	for _, node := range g.pop.LiveNodes() {
+		node := node
+		for i := 0; i < g.workload.LookupsPerMinute; i++ {
+			key := g.keys[r.Intn(len(g.keys))]
+			offset := time.Duration(r.Int63n(int64(time.Minute)))
+			g.sim.MustSchedule(offset, func() {
+				if !node.Running() {
+					return
+				}
+				g.lookups++
+				node.Get(key, nil)
+			})
+		}
+		for i := 0; i < g.workload.StoresPerMinute; i++ {
+			key := g.keys[r.Intn(len(g.keys))]
+			offset := time.Duration(r.Int63n(int64(time.Minute)))
+			g.sim.MustSchedule(offset, func() {
+				if !node.Running() {
+					return
+				}
+				g.stores++
+				node.Store(key, []byte("data-object"), nil)
+			})
+		}
+	}
+	next := now + time.Minute
+	if next < g.until {
+		g.timer = g.sim.MustSchedule(time.Minute, g.minute)
+	}
+}

@@ -1,0 +1,226 @@
+// Package kadre ("KADemlia REsilience") reproduces Heck, Kieselmann and
+// Wacker, "Evaluating Connection Resilience for the Overlay Network
+// Kademlia" (ICDCS 2017): a deterministic event-driven Kademlia simulator,
+// a vertex-connectivity analysis pipeline built on Even's vertex-splitting
+// transformation and max-flow solvers, and runnable presets for every
+// figure and table in the paper's evaluation.
+//
+// The package is a facade over the internal subsystems. Typical use:
+//
+//	cfg := kadre.ScenarioConfig{
+//		Name: "demo", Seed: 1, Size: 100, K: 20,
+//		Traffic: true, Churn: kadre.ChurnRate{Add: 1, Remove: 1},
+//		ChurnPhase: 60 * time.Minute,
+//	}
+//	res, err := kadre.RunScenario(cfg)
+//	// res.Points: per-snapshot network size, min and avg connectivity.
+//
+// Lower-level entry points expose the simulator, the Kademlia node, graph
+// snapshots, and the connectivity analyzer directly, so the building
+// blocks can be recombined (e.g. analyzing externally captured
+// connectivity graphs, or embedding Kademlia nodes in a custom
+// simulation).
+package kadre
+
+import (
+	"time"
+
+	"kadre/internal/churn"
+	"kadre/internal/connectivity"
+	"kadre/internal/eventsim"
+	"kadre/internal/graph"
+	"kadre/internal/id"
+	"kadre/internal/kademlia"
+	"kadre/internal/maxflow"
+	"kadre/internal/scenario"
+	"kadre/internal/simnet"
+	"kadre/internal/snapshot"
+	"kadre/internal/stats"
+	"kadre/internal/traffic"
+)
+
+// Identifier space.
+type (
+	// ID is a b-bit Kademlia identifier under the XOR metric.
+	ID = id.ID
+)
+
+// NewID builds an identifier from big-endian bytes.
+func NewID(bits int, data []byte) (ID, error) { return id.New(bits, data) }
+
+// HashID derives an identifier from arbitrary bytes (SHA-256 truncated).
+func HashID(bits int, payload []byte) ID { return id.Hash(bits, payload) }
+
+// ParseID decodes the hex form of an identifier.
+func ParseID(bits int, s string) (ID, error) { return id.Parse(bits, s) }
+
+// Simulation kernel and network substrate.
+type (
+	// Simulator is the deterministic discrete-event kernel.
+	Simulator = eventsim.Simulator
+	// Network is the simulated message-passing network.
+	Network = simnet.Network
+	// NetworkConfig sets latency and loss models.
+	NetworkConfig = simnet.Config
+	// Addr is a simulated network address.
+	Addr = simnet.Addr
+	// LossLevel names a Table 1 message-loss scenario.
+	LossLevel = simnet.LossLevel
+)
+
+// Table 1 loss levels.
+const (
+	LossNone   = simnet.LossNone
+	LossLow    = simnet.LossLow
+	LossMedium = simnet.LossMedium
+	LossHigh   = simnet.LossHigh
+)
+
+// NewSimulator returns a simulator seeded for reproducibility.
+func NewSimulator(seed int64) *Simulator { return eventsim.New(seed) }
+
+// NewNetwork builds a simulated network on a simulator.
+func NewNetwork(sim *Simulator, cfg NetworkConfig) *Network { return simnet.New(sim, cfg) }
+
+// Kademlia protocol.
+type (
+	// Node is one Kademlia participant.
+	Node = kademlia.Node
+	// NodeConfig carries the protocol parameters b, k, alpha, s.
+	NodeConfig = kademlia.Config
+	// Contact is a routing-table entry (identifier plus address).
+	Contact = kademlia.Contact
+	// RoutingTable is a node's k-bucket table.
+	RoutingTable = kademlia.RoutingTable
+	// DisjointResult reports an S/Kademlia-style disjoint-path lookup.
+	DisjointResult = kademlia.DisjointResult
+)
+
+// NewNode creates a node whose identifier is derived from its address.
+func NewNode(cfg NodeConfig, addr Addr, net *Network) (*Node, error) {
+	return kademlia.NewNode(cfg, addr, net)
+}
+
+// NewNodeWithID creates a node with an explicit identifier.
+func NewNodeWithID(cfg NodeConfig, nodeID ID, addr Addr, net *Network) (*Node, error) {
+	return kademlia.NewNodeWithID(cfg, nodeID, addr, net)
+}
+
+// Graphs and connectivity analysis.
+type (
+	// Graph is a directed connectivity graph.
+	Graph = graph.Digraph
+	// ConnectivityOptions configures the analyzer (sampling, algorithm,
+	// workers).
+	ConnectivityOptions = connectivity.Options
+	// ConnectivityResult reports min/avg connectivity of one graph.
+	ConnectivityResult = connectivity.Result
+	// MaxflowAlgorithm selects Dinic or HIPR-style push-relabel.
+	MaxflowAlgorithm = maxflow.Algorithm
+	// Snapshot is a captured connectivity graph with node metadata.
+	Snapshot = snapshot.Snapshot
+)
+
+// Max-flow algorithm choices.
+const (
+	Dinic       = maxflow.Dinic
+	PushRelabel = maxflow.PushRelabel
+)
+
+// NewGraph returns an empty directed graph on n vertices.
+func NewGraph(n int) *Graph { return graph.NewDigraph(n) }
+
+// AnalyzeConnectivity computes the vertex connectivity of a graph.
+func AnalyzeConnectivity(g *Graph, opts ConnectivityOptions) (ConnectivityResult, error) {
+	a, err := connectivity.NewAnalyzer(opts)
+	if err != nil {
+		return ConnectivityResult{}, err
+	}
+	return a.Analyze(g), nil
+}
+
+// VertexConnectivity computes the exact kappa(D) with a full n(n-1) sweep.
+func VertexConnectivity(g *Graph) int {
+	return connectivity.MustNewAnalyzer(connectivity.Options{SampleFraction: 1.0, MinOnly: true}).Analyze(g).Min
+}
+
+// PairConnectivity computes kappa(v, w) for one non-adjacent pair.
+func PairConnectivity(g *Graph, v, w int) (int, error) {
+	return connectivity.Pair(g, v, w, maxflow.Dinic)
+}
+
+// Resilience converts a connectivity into the number of compromised nodes
+// the network tolerates: r = kappa - 1 (Equation 2 of the paper).
+func Resilience(kappa int) int { return connectivity.Resilience(kappa) }
+
+// PairCut returns a minimum vertex cut separating w from v — the optimal
+// attack against the pair in the paper's system model. Its size equals
+// PairConnectivity(g, v, w).
+func PairCut(g *Graph, v, w int) ([]int, error) { return connectivity.PairCut(g, v, w) }
+
+// GraphCut returns a minimum vertex cut of the whole graph and the vertex
+// pair it separates; ok is false for complete graphs, which have no cut.
+func GraphCut(g *Graph, opts ConnectivityOptions) (cut []int, pair [2]int, ok bool, err error) {
+	return connectivity.GraphCut(g, opts)
+}
+
+// RemoveVertices simulates compromising nodes: it returns a copy of g with
+// the given vertices deleted and an old-to-new index mapping (-1 for
+// removed vertices).
+func RemoveVertices(g *Graph, remove []int) (*Graph, []int) {
+	return connectivity.RemoveVertices(g, remove)
+}
+
+// RequiredConnectivity returns the kappa needed to tolerate a attackers.
+func RequiredConnectivity(a int) int { return connectivity.RequiredConnectivity(a) }
+
+// CaptureSnapshot builds the connectivity graph of the live nodes at the
+// given virtual time.
+func CaptureSnapshot(now time.Duration, nodes []*Node) *Snapshot {
+	return snapshot.Capture(now, nodes)
+}
+
+// Scenario running (the paper's experiments).
+type (
+	// ScenarioConfig describes one simulation run.
+	ScenarioConfig = scenario.Config
+	// ScenarioResult is a run's measurement series.
+	ScenarioResult = scenario.Result
+	// SnapshotStat is one measurement point of a run.
+	SnapshotStat = scenario.SnapshotStat
+	// ChurnRate is an add/remove-per-minute churn scenario.
+	ChurnRate = churn.Rate
+	// Workload overrides traffic rates.
+	Workload = traffic.Workload
+	// Experiment bundles the runs behind one paper figure or table.
+	Experiment = scenario.Experiment
+	// Scale maps experiments onto a compute budget (paper, reduced, tiny).
+	Scale = scenario.Scale
+	// Series is a time series of measurements.
+	Series = stats.Series
+	// Summary holds mean/variance/RV statistics of a series window.
+	Summary = stats.Summary
+)
+
+// The paper's churn scenarios.
+var (
+	Churn0_1   = churn.Rate0_1
+	Churn1_1   = churn.Rate1_1
+	Churn10_10 = churn.Rate10_10
+)
+
+// Built-in experiment scales.
+var (
+	PaperScale   = scenario.PaperScale
+	ReducedScale = scenario.ReducedScale
+	TinyScale    = scenario.TinyScale
+)
+
+// RunScenario executes one simulation and returns its measurements.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) { return scenario.Run(cfg) }
+
+// RunExperiment executes every run of an experiment sequentially.
+func RunExperiment(e Experiment) ([]*ScenarioResult, error) { return scenario.RunAll(e.Configs) }
+
+// ScaleByName resolves "paper", "reduced", or "tiny".
+func ScaleByName(name string) (Scale, error) { return scenario.ScaleByName(name) }
