@@ -3,18 +3,71 @@
 // DESIGN.md's experiment index); the output is the paper's tables as text
 // and the figures as ASCII charts plus per-run measurement tables.
 //
+// Runs execute on the parallel sweep engine (internal/sweep): the
+// experiment's configurations — times the replication count — fan out
+// across -jobs workers. Every run is deterministic in its seed and the
+// engine reassembles results in input order, so the output is identical
+// for any -jobs value; only wall-clock time changes.
+//
+// Replication (-reps R) repeats every configuration R times with derived
+// seeds, matching the paper's repeated-run methodology: rep 0 uses the
+// configuration's own seed (so -reps 1 reproduces historical single runs
+// exactly) and reps >= 1 use a splitmix64-derived seed stream. Replicated
+// sweeps report the cross-run mean and two-sided 95% Student-t confidence
+// interval per snapshot instant, both in the tables and as the dotted
+// band of the ASCII charts.
+//
+// Flags:
+//
+//	-exp id       experiment to run (see -list), or 'all'
+//	-scale s      paper, reduced, tiny (default reduced)
+//	-seed n       base seed (default 1)
+//	-reps r       seed replications per configuration (default 1)
+//	-jobs j       concurrent runs; 0 means GOMAXPROCS (default 0)
+//	-csv dir      write one CSV per run (and per-config aggregate CSVs
+//	              when -reps > 1)
+//	-json dir     write one JSON document per experiment
+//	-list         list experiments and exit
+//	-quiet        suppress progress lines
+//
+// The JSON document (one per experiment, named <exp>.json) contains:
+//
+//	{
+//	  "experiment": "figure2", "title": "...", "scale": "tiny",
+//	  "reps": 3, "jobs": 4,
+//	  "runs": [{
+//	    "name": "SimA/k=5", "base_seed": 1,
+//	    "size": 40, "k": 5, "churn": "0/1", "loss": "none", "traffic": false,
+//	    "reps": [{"seed": 1, "points": [{"t_min", "n", "edges",
+//	              "min_conn", "avg_conn", "symmetry"}, ...],
+//	              "churn_added", "churn_removed", "traffic_ops",
+//	              "msg_sent", "msg_lost"}, ...],
+//	    "aggregate": {
+//	      "min_conn": [{"t_min", "mean", "std", "ci95", "min", "max"}, ...],
+//	      "avg_conn": [...], "size": [...],
+//	      "churn_window": {"rep_means": [...], "mean", "ci95"}
+//	    }
+//	  }, ...]
+//	}
+//
+// Statistics that are undefined (the CI of a single replication) encode
+// as null. Wall-clock timings are excluded, so the same sweep always
+// produces byte-identical JSON.
+//
 // Examples:
 //
 //	kadsweep -list
 //	kadsweep -exp table1
 //	kadsweep -exp figure2 -scale tiny
-//	kadsweep -exp figure6 -scale reduced -csv out/
+//	kadsweep -exp figure2 -scale tiny -reps 3 -jobs 4
+//	kadsweep -exp figure6 -scale reduced -reps 5 -csv out/ -json out/
 //	kadsweep -exp all -scale tiny
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,39 +76,67 @@ import (
 	"kadre/internal/report"
 	"kadre/internal/scenario"
 	"kadre/internal/stats"
+	"kadre/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "kadsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// options carries the resolved flag set through one invocation.
+type options struct {
+	scale   scenario.Scale
+	seed    int64
+	reps    int
+	jobs    int
+	csvDir  string
+	jsonDir string
+	quiet   bool
+	stdout  io.Writer
+}
+
+func run(args []string, stdout io.Writer) error {
+	// Flag diagnostics (usage, parse errors) stay on the FlagSet's stderr
+	// default; stdout carries only the program's results.
 	fs := flag.NewFlagSet("kadsweep", flag.ContinueOnError)
 	var (
 		expID     = fs.String("exp", "", "experiment id (see -list), or 'all'")
 		scaleName = fs.String("scale", "reduced", "scale: paper, reduced, tiny")
 		seed      = fs.Int64("seed", 1, "base seed")
+		reps      = fs.Int("reps", 1, "seed replications per configuration")
+		jobs      = fs.Int("jobs", 0, "concurrent runs (0 = GOMAXPROCS)")
 		csvDir    = fs.String("csv", "", "directory for per-run CSV series")
+		jsonDir   = fs.String("json", "", "directory for per-experiment JSON results")
 		list      = fs.Bool("list", false, "list experiments and exit")
 		quiet     = fs.Bool("quiet", false, "suppress progress lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d must be >= 1", *reps)
+	}
+	if *jobs < 0 {
+		return fmt.Errorf("-jobs %d must be >= 0", *jobs)
+	}
 
 	scale, err := scenario.ScaleByName(*scaleName)
 	if err != nil {
 		return err
 	}
+	opts := options{
+		scale: scale, seed: *seed, reps: *reps, jobs: *jobs,
+		csvDir: *csvDir, jsonDir: *jsonDir, quiet: *quiet, stdout: stdout,
+	}
 
 	if *list {
-		fmt.Println("available experiments (paper artefact -> id):")
-		fmt.Println("  table1    Table 1 (message-loss scenarios; static)")
+		fmt.Fprintln(stdout, "available experiments (paper artefact -> id):")
+		fmt.Fprintln(stdout, "  table1    Table 1 (message-loss scenarios; static)")
 		for _, e := range scale.Experiments(*seed) {
-			fmt.Printf("  %-9s %s (%d runs)\n", e.ID, e.Title, len(e.Configs))
+			fmt.Fprintf(stdout, "  %-9s %s (%d runs)\n", e.ID, e.Title, len(e.Configs))
 		}
 		return nil
 	}
@@ -63,16 +144,18 @@ func run(args []string) error {
 		return fmt.Errorf("-exp is required (try -list)")
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			return err
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
 		}
 	}
 
 	if *expID == "table1" {
 		header, rows := report.Table1()
-		fmt.Println("Table 1: message loss scenarios")
-		return report.WriteTable(os.Stdout, header, rows)
+		fmt.Fprintln(stdout, "Table 1: message loss scenarios")
+		return report.WriteTable(stdout, header, rows)
 	}
 
 	ids := []string{*expID}
@@ -82,62 +165,85 @@ func run(args []string) error {
 			ids = append(ids, e.ID)
 		}
 		header, rows := report.Table1()
-		fmt.Println("Table 1: message loss scenarios")
-		if err := report.WriteTable(os.Stdout, header, rows); err != nil {
+		fmt.Fprintln(stdout, "Table 1: message loss scenarios")
+		if err := report.WriteTable(stdout, header, rows); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	for _, eid := range ids {
-		if err := runExperiment(scale, eid, *seed, *csvDir, *quiet); err != nil {
+		if err := runExperiment(eid, opts); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runExperiment(scale scenario.Scale, expID string, seed int64, csvDir string, quiet bool) error {
-	exp, err := scale.ExperimentByID(expID, seed)
+func runExperiment(expID string, opts options) error {
+	exp, err := opts.scale.ExperimentByID(expID, opts.seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("=== %s: %s (scale %s, %d runs) ===\n", exp.ID, exp.Title, scale.Name, len(exp.Configs))
+	fmt.Fprintf(opts.stdout, "=== %s: %s (scale %s, %d configs x %d reps, jobs %d) ===\n",
+		exp.ID, exp.Title, opts.scale.Name, len(exp.Configs), opts.reps, opts.jobs)
 	start := time.Now()
-	results := make([]*scenario.Result, 0, len(exp.Configs))
-	for _, cfg := range exp.Configs {
-		if !quiet {
-			cfg.Log = func(format string, a ...any) { fmt.Printf("  "+format+"\n", a...) }
+
+	swOpts := sweep.Options{Reps: opts.reps, Jobs: opts.jobs}
+	if !opts.quiet {
+		swOpts.Progress = func(ev sweep.Event) {
+			status := fmt.Sprintf("%v", ev.Elapsed.Round(time.Millisecond))
+			if ev.Err != nil {
+				status = "FAILED: " + ev.Err.Error()
+			}
+			fmt.Fprintf(opts.stdout, "  [%d/%d] %s rep %d seed %d (%s)\n",
+				ev.Done, ev.Total, ev.Name, ev.Rep, ev.Seed, status)
 		}
-		res, err := scenario.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("run %q: %w", cfg.Name, err)
-		}
-		results = append(results, res)
-		if csvDir != "" {
-			if err := writeCSV(csvDir, res); err != nil {
+	}
+	sets, err := sweep.RunExperiment(exp, swOpts)
+	if err != nil {
+		return err
+	}
+
+	if opts.csvDir != "" {
+		for _, rs := range sets {
+			if err := writeCSVSet(opts.csvDir, rs); err != nil {
 				return err
 			}
 		}
 	}
-	fmt.Printf("--- %s finished in %v ---\n\n", exp.ID, time.Since(start).Round(time.Second))
-	return render(exp, results)
+	if opts.jsonDir != "" {
+		if err := writeJSONFile(opts.jsonDir, exp, opts, sets); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(opts.stdout, "--- %s finished in %v ---\n\n", exp.ID, time.Since(start).Round(time.Second))
+	return render(opts.stdout, exp, opts.reps, sets)
 }
 
-func render(exp scenario.Experiment, results []*scenario.Result) error {
+func render(w io.Writer, exp scenario.Experiment, reps int, sets []*sweep.RunSet) error {
+	if reps > 1 {
+		return renderAggregated(w, exp, sets)
+	}
+	// Single-rep sweeps keep the historical per-run rendering.
+	results := make([]*scenario.Result, len(sets))
+	for i, rs := range sets {
+		results[i] = rs.Reps[0]
+	}
 	switch exp.ID {
 	case "table2":
 		header, rows := report.Table2(results)
-		fmt.Println("Table 2: means and relative variance of min connectivity during churn")
-		return report.WriteTable(os.Stdout, header, rows)
+		fmt.Fprintln(w, "Table 2: means and relative variance of min connectivity during churn")
+		return report.WriteTable(w, header, rows)
 	case "figure10":
 		header, rows := report.MeansByK(results)
-		fmt.Println("Figure 10: means of the minimum connectivity during churn")
-		return report.WriteTable(os.Stdout, header, rows)
+		fmt.Fprintln(w, "Figure 10: means of the minimum connectivity during churn")
+		return report.WriteTable(w, header, rows)
 	case "bitlength":
 		header, rows := report.MeansByK(results)
-		fmt.Println("§5.7: bit-length comparison (expect no significant difference)")
-		return report.WriteTable(os.Stdout, header, rows)
+		fmt.Fprintln(w, "§5.7: bit-length comparison (expect no significant difference)")
+		return report.WriteTable(w, header, rows)
 	default:
 		// Figure-style output: min- and avg-connectivity charts over all
 		// runs, then per-run tables.
@@ -146,17 +252,17 @@ func render(exp scenario.Experiment, results []*scenario.Result) error {
 			minSeries = append(minSeries, r.MinSeries())
 			avgSeries = append(avgSeries, r.AvgSeries())
 		}
-		if err := report.Chart(os.Stdout, exp.Title+" — minimum connectivity", minSeries, 14); err != nil {
+		if err := report.Chart(w, exp.Title+" — minimum connectivity", minSeries, 14); err != nil {
 			return err
 		}
-		fmt.Println()
-		if err := report.Chart(os.Stdout, exp.Title+" — average connectivity", avgSeries, 14); err != nil {
+		fmt.Fprintln(w)
+		if err := report.Chart(w, exp.Title+" — average connectivity", avgSeries, 14); err != nil {
 			return err
 		}
 		for _, r := range results {
-			fmt.Printf("\n%s\n", r.Config.Name)
+			fmt.Fprintf(w, "\n%s\n", r.Config.Name)
 			header, rows := report.SnapshotRows(r)
-			if err := report.WriteTable(os.Stdout, header, rows); err != nil {
+			if err := report.WriteTable(w, header, rows); err != nil {
 				return err
 			}
 		}
@@ -164,9 +270,68 @@ func render(exp scenario.Experiment, results []*scenario.Result) error {
 	}
 }
 
-func writeCSV(dir string, r *scenario.Result) error {
-	name := strings.NewReplacer("/", "_", "=", "").Replace(r.Config.Name) + ".csv"
-	path := filepath.Join(dir, name)
+func renderAggregated(w io.Writer, exp scenario.Experiment, sets []*sweep.RunSet) error {
+	switch exp.ID {
+	case "table2":
+		header, rows := report.Table2Reps(sets)
+		fmt.Fprintln(w, "Table 2: mean (±95% CI) and relative variance of min connectivity during churn")
+		return report.WriteTable(w, header, rows)
+	case "figure10":
+		header, rows := report.MeansByKReps(sets)
+		fmt.Fprintln(w, "Figure 10: means (±95% CI) of the minimum connectivity during churn")
+		return report.WriteTable(w, header, rows)
+	case "bitlength":
+		header, rows := report.MeansByKReps(sets)
+		fmt.Fprintln(w, "§5.7: bit-length comparison (expect no significant difference)")
+		return report.WriteTable(w, header, rows)
+	default:
+		var minAgg, avgAgg []*stats.AggregateSeries
+		for _, rs := range sets {
+			minAgg = append(minAgg, rs.Min)
+			avgAgg = append(avgAgg, rs.Avg)
+		}
+		if err := report.AggChart(w, exp.Title+" — minimum connectivity (mean of reps)", minAgg, 14); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := report.AggChart(w, exp.Title+" — average connectivity (mean of reps)", avgAgg, 14); err != nil {
+			return err
+		}
+		for _, rs := range sets {
+			fmt.Fprintf(w, "\n%s (%d reps)\n", rs.Config.Name, len(rs.Reps))
+			header, rows := report.AggregateSnapshotRows(rs)
+			if err := report.WriteTable(w, header, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// csvName flattens a run name into a file name.
+func csvName(name string) string {
+	return strings.NewReplacer("/", "_", "=", "").Replace(name)
+}
+
+// writeCSVSet writes one CSV per replication (rep 0 keeps the historical
+// file name) plus a per-config aggregate CSV when there are multiple reps.
+func writeCSVSet(dir string, rs *sweep.RunSet) error {
+	for rep, r := range rs.Reps {
+		name := csvName(rs.Config.Name)
+		if rep > 0 {
+			name = fmt.Sprintf("%s_r%d", name, rep)
+		}
+		if err := writeCSV(filepath.Join(dir, name+".csv"), r); err != nil {
+			return err
+		}
+	}
+	if len(rs.Reps) > 1 {
+		return writeAggCSV(filepath.Join(dir, csvName(rs.Config.Name)+"_agg.csv"), rs)
+	}
+	return nil
+}
+
+func writeCSV(path string, r *scenario.Result) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -181,5 +346,39 @@ func writeCSV(dir string, r *scenario.Result) error {
 			return err
 		}
 	}
-	return nil
+	return f.Close()
+}
+
+func writeAggCSV(path string, rs *sweep.RunSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "t_min,reps,n_mean,min_mean,min_std,min_ci95,avg_mean,avg_std,avg_ci95"); err != nil {
+		return err
+	}
+	for i := range rs.Min.Points {
+		mp, ap, sp := rs.Min.Points[i], rs.Avg.Points[i], rs.Size.Points[i]
+		if _, err := fmt.Fprintf(f, "%.0f,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			mp.T.Minutes(), mp.N, sp.Mean, mp.Mean, mp.Std, mp.CI95, ap.Mean, ap.Std, ap.CI95); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func writeJSONFile(dir string, exp scenario.Experiment, opts options, sets []*sweep.RunSet) error {
+	f, err := os.Create(filepath.Join(dir, exp.ID+".json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	meta := sweep.JSONMeta{
+		Experiment: exp.ID, Title: exp.Title, Scale: opts.scale.Name, Jobs: opts.jobs,
+	}
+	if err := sweep.WriteJSON(f, meta, sets); err != nil {
+		return err
+	}
+	return f.Close()
 }

@@ -1,56 +1,172 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"kadre/internal/sweep"
 )
 
-func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+// listGolden is the full -list output at the default (reduced) scale; it
+// doubles as a regression net over the experiment catalogue.
+const listGolden = `available experiments (paper artefact -> id):
+  table1    Table 1 (message-loss scenarios; static)
+  figure2   Sim A: size small, churn 0/1, no data traffic (4 runs)
+  figure3   Sim B: size large, churn 0/1, no data traffic (4 runs)
+  figure4   Sim C: size small, churn 0/1, with data traffic (4 runs)
+  figure5   Sim D: size large, churn 0/1, with data traffic (4 runs)
+  figure6   Sim E: size small, churn 1/1, with data traffic (4 runs)
+  figure7   Sim F: size large, churn 1/1, with data traffic (4 runs)
+  figure8   Sim G: size small, churn 10/10, with data traffic (4 runs)
+  figure9   Sim H: size large, churn 10/10, with data traffic (4 runs)
+  table2    Sims E-H: mean and relative variance of min connectivity during churn (16 runs)
+  figure10  mean min connectivity during churn vs k, alpha in {3,5} (24 runs)
+  bitlength §5.7: bit-length 80 vs 160 on Sims C and D (4 runs)
+  figure11  Sim I: staleness s in {1,5}, no loss, churn 1/1 and 10/10 (4 runs)
+  figure12  Sim J: loss sweep, churn 0/0, s in {1,5} (6 runs)
+  figure13  Sim K: loss sweep, churn 1/1, s in {1,5} (6 runs)
+  figure14  Sim L: loss sweep, churn 10/10, s in {1,5} (6 runs)
+`
+
+func TestRunListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
+	}
+	if buf.String() != listGolden {
+		t.Fatalf("-list output drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), listGolden)
 	}
 }
 
 func TestRunTable1(t *testing.T) {
-	if err := run([]string{"-exp", "table1"}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1"}, &buf); err != nil {
 		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1: message loss scenarios", "Loss l", "Ploss(1-way)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
 	}
 }
 
-func TestRunFigure2Tiny(t *testing.T) {
+// TestRunFigure2TinyEndToEnd is the end-to-end satellite: a replicated
+// parallel figure2 sweep at tiny scale with CSV and JSON artefacts, with
+// file contents checked rather than just existence.
+func TestRunFigure2TinyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tiny sweep is slow; skipped with -short")
+	}
 	dir := t.TempDir()
-	if err := run([]string{"-exp", "figure2", "-scale", "tiny", "-quiet", "-csv", dir}); err != nil {
+	var buf bytes.Buffer
+	args := []string{
+		"-exp", "figure2", "-scale", "tiny", "-reps", "2", "-jobs", "4",
+		"-quiet", "-csv", dir, "-json", dir,
+	}
+	if err := run(args, &buf); err != nil {
 		t.Fatal(err)
 	}
-	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+
+	// Aggregated rendering: mean ± CI table columns and the CI band chart.
+	out := buf.String()
+	for _, want := range []string{"mean of reps", "ci95", "(. = 95% CI)", "(2 reps)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("aggregated output missing %q:\n%s", want, out)
+		}
+	}
+
+	// CSV: 4 configs x 2 reps per-run files plus 4 aggregate files.
+	perRun, err := filepath.Glob(filepath.Join(dir, "SimA_k*.csv"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(matches) != 4 {
-		t.Fatalf("wrote %d CSV files, want 4 (one per k)", len(matches))
+	var agg, raw []string
+	for _, p := range perRun {
+		if strings.HasSuffix(p, "_agg.csv") {
+			agg = append(agg, p)
+		} else {
+			raw = append(raw, p)
+		}
 	}
-	data, err := os.ReadFile(matches[0])
+	if len(raw) != 8 || len(agg) != 4 {
+		t.Fatalf("got %d per-run and %d aggregate CSVs, want 8 and 4", len(raw), len(agg))
+	}
+	rawData, err := os.ReadFile(raw[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(data), "t_min,n,edges,min_conn,avg_conn,symmetry") {
-		t.Fatalf("csv header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	if !strings.HasPrefix(string(rawData), "t_min,n,edges,min_conn,avg_conn,symmetry") {
+		t.Fatalf("per-run csv header wrong: %q", strings.SplitN(string(rawData), "\n", 2)[0])
 	}
-	if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 3 {
-		t.Fatal("csv has no data rows")
+	if len(strings.Split(strings.TrimSpace(string(rawData)), "\n")) < 3 {
+		t.Fatal("per-run csv has no data rows")
+	}
+	aggData, err := os.ReadFile(agg[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(aggData), "t_min,reps,n_mean,min_mean,min_std,min_ci95,avg_mean,avg_std,avg_ci95") {
+		t.Fatalf("aggregate csv header wrong: %q", strings.SplitN(string(aggData), "\n", 2)[0])
+	}
+
+	// JSON: one document for the experiment, structurally sound and
+	// consistent with the CSV artefacts.
+	jsonData, err := os.ReadFile(filepath.Join(dir, "figure2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc sweep.JSONFile
+	if err := json.Unmarshal(jsonData, &doc); err != nil {
+		t.Fatalf("figure2.json is not valid JSON: %v", err)
+	}
+	if doc.Experiment != "figure2" || doc.Scale != "tiny" || doc.Reps != 2 {
+		t.Fatalf("JSON header wrong: experiment=%q scale=%q reps=%d", doc.Experiment, doc.Scale, doc.Reps)
+	}
+	if len(doc.Runs) != 4 {
+		t.Fatalf("JSON has %d runs, want 4 (one per k)", len(doc.Runs))
+	}
+	for _, run := range doc.Runs {
+		if len(run.Reps) != 2 {
+			t.Fatalf("run %q has %d reps, want 2", run.Name, len(run.Reps))
+		}
+		if run.Reps[0].Seed == run.Reps[1].Seed {
+			t.Fatalf("run %q reps share a seed", run.Name)
+		}
+		if len(run.Reps[0].Points) == 0 {
+			t.Fatalf("run %q has no snapshot points", run.Name)
+		}
+		if len(run.Aggregate.Min) != len(run.Reps[0].Points) {
+			t.Fatalf("run %q aggregate misaligned with points", run.Name)
+		}
+		if run.Aggregate.Min[0].CI95 == nil {
+			t.Fatalf("run %q: two reps must yield a non-null CI", run.Name)
+		}
+		if run.Churn != "0/1" || run.Traffic {
+			t.Fatalf("run %q config wrong in JSON: churn=%q traffic=%v", run.Name, run.Churn, run.Traffic)
+		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	discard := &bytes.Buffer{}
+	if err := run([]string{}, discard); err == nil {
 		t.Error("missing -exp should fail")
 	}
-	if err := run([]string{"-exp", "figure99"}); err == nil {
+	if err := run([]string{"-exp", "figure99"}, discard); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if err := run([]string{"-exp", "figure2", "-scale", "galactic"}); err == nil {
+	if err := run([]string{"-exp", "figure2", "-scale", "galactic"}, discard); err == nil {
 		t.Error("unknown scale should fail")
+	}
+	if err := run([]string{"-exp", "figure2", "-reps", "0"}, discard); err == nil {
+		t.Error("-reps 0 should fail")
+	}
+	if err := run([]string{"-exp", "figure2", "-jobs", "-2"}, discard); err == nil {
+		t.Error("negative -jobs should fail")
 	}
 }

@@ -1,0 +1,3 @@
+module kadre
+
+go 1.22

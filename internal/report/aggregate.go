@@ -1,0 +1,107 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"kadre/internal/stats"
+	"kadre/internal/sweep"
+)
+
+// ci renders a 95% confidence-interval half-width; an undefined interval
+// (single replication) renders as a dash rather than a fabricated zero.
+func ci(half float64) string {
+	if math.IsNaN(half) {
+		return "-"
+	}
+	return fmt.Sprintf("±%.2f", half)
+}
+
+// AggregateSnapshotRows renders one configuration's cross-replication
+// curves as table rows: the mean and 95% CI of the minimum and average
+// connectivity at every snapshot instant, alongside the mean live size.
+func AggregateSnapshotRows(rs *sweep.RunSet) (header []string, rows [][]string) {
+	header = []string{"t(min)", "n", "minConn", "ci95", "avgConn", "ci95", "reps"}
+	for i := range rs.Min.Points {
+		mp, ap, sp := rs.Min.Points[i], rs.Avg.Points[i], rs.Size.Points[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", mp.T.Minutes()),
+			fmt.Sprintf("%.1f", sp.Mean),
+			fmt.Sprintf("%.2f", mp.Mean),
+			ci(mp.CI95),
+			fmt.Sprintf("%.2f", ap.Mean),
+			ci(ap.CI95),
+			fmt.Sprintf("%d", mp.N),
+		})
+	}
+	return header, rows
+}
+
+// Table2Reps is the replicated form of Table 2: the churn-phase mean
+// minimum connectivity averaged across seed replications, with its 95% CI
+// and the mean of the per-replication Relative Variances.
+func Table2Reps(sets []*sweep.RunSet) (header []string, rows [][]string) {
+	header = []string{"Size", "k", "Churn", "Mean", "ci95", "RV", "reps"}
+	for _, rs := range sets {
+		means := rs.ChurnWindowMeans()
+		rvs := make([]float64, len(rs.Reps))
+		for i, r := range rs.Reps {
+			rvs[i] = r.ChurnWindowSummary().RV
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", rs.Config.Size),
+			fmt.Sprintf("%d", rs.Config.K),
+			rs.Config.Churn.String(),
+			fmt.Sprintf("%.2f", stats.Mean(means)),
+			ci(stats.CI95Half(means)),
+			fmt.Sprintf("%.2f", stats.Mean(rvs)),
+			fmt.Sprintf("%d", len(rs.Reps)),
+		})
+	}
+	return header, rows
+}
+
+// MeansByKReps is the replicated form of the Figure 10 means table.
+func MeansByKReps(sets []*sweep.RunSet) (header []string, rows [][]string) {
+	header = []string{"Run", "k", "alpha", "Churn", "MeanMinConn", "ci95", "reps"}
+	for _, rs := range sets {
+		means := rs.ChurnWindowMeans()
+		alpha := rs.Config.Alpha
+		if alpha == 0 {
+			alpha = 3
+		}
+		rows = append(rows, []string{
+			rs.Config.Name,
+			fmt.Sprintf("%d", rs.Config.K),
+			fmt.Sprintf("%d", alpha),
+			rs.Config.Churn.String(),
+			fmt.Sprintf("%.2f", stats.Mean(means)),
+			ci(stats.CI95Half(means)),
+			fmt.Sprintf("%d", len(rs.Reps)),
+		})
+	}
+	return header, rows
+}
+
+// AggChart renders cross-replication curves as an ASCII chart: each
+// series' mean is drawn with its glyph and the 95% confidence band is
+// shaded with dots, so replication spread is visible next to the mean
+// trend.
+func AggChart(w io.Writer, title string, series []*stats.AggregateSeries, height int) error {
+	layers := make([]chartLayer, len(series))
+	for i, s := range series {
+		l := chartLayer{name: s.Name, legend: " (. = 95% CI)"}
+		for _, p := range s.Points {
+			t := p.T.Minutes()
+			l.points = append(l.points, chartXY{t: t, v: p.Mean})
+			if !math.IsNaN(p.CI95) && p.CI95 != 0 {
+				l.bands = append(l.bands, chartBand{
+					t: t, lo: math.Max(p.Mean-p.CI95, 0), hi: p.Mean + p.CI95,
+				})
+			}
+		}
+		layers[i] = l
+	}
+	return renderChart(w, title, layers, height)
+}

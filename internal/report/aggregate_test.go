@@ -1,0 +1,105 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kadre/internal/scenario"
+	"kadre/internal/stats"
+	"kadre/internal/sweep"
+)
+
+// sweepTiny runs one small replicated sweep shared by the tests below.
+func sweepTiny(t *testing.T, reps int) []*sweep.RunSet {
+	t.Helper()
+	cfg := scenario.Config{
+		Name: "SimT/k=5", Seed: 2, Size: 20, K: 5, Staleness: 1,
+		Setup: 6 * time.Minute, Stabilize: 12 * time.Minute,
+		SnapshotInterval: 6 * time.Minute, SampleFraction: 0.1,
+	}
+	sets, err := sweep.Run([]scenario.Config{cfg}, sweep.Options{Reps: reps, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sets
+}
+
+func TestAggregateSnapshotRows(t *testing.T) {
+	sets := sweepTiny(t, 3)
+	header, rows := AggregateSnapshotRows(sets[0])
+	if len(header) != 7 || header[3] != "ci95" {
+		t.Fatalf("header = %v", header)
+	}
+	if len(rows) != sets[0].Min.Len() {
+		t.Fatalf("%d rows for %d aggregate points", len(rows), sets[0].Min.Len())
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			t.Fatalf("row width %d != header width %d", len(row), len(header))
+		}
+		if row[6] != "3" {
+			t.Fatalf("reps column = %q, want 3", row[6])
+		}
+		if row[3] == "-" {
+			t.Fatal("three reps must yield a defined CI")
+		}
+		if !strings.HasPrefix(row[3], "±") {
+			t.Fatalf("CI cell %q not rendered as ±x.xx", row[3])
+		}
+	}
+
+	// A single rep has no CI; it must render as a dash, not ±0.00.
+	_, singleRows := AggregateSnapshotRows(sweepTiny(t, 1)[0])
+	if singleRows[0][3] != "-" {
+		t.Fatalf("single-rep CI cell = %q, want -", singleRows[0][3])
+	}
+}
+
+func TestTable2RepsAndMeansByKReps(t *testing.T) {
+	sets := sweepTiny(t, 2)
+	header, rows := Table2Reps(sets)
+	if header[4] != "ci95" || len(rows) != 1 {
+		t.Fatalf("Table2Reps header %v rows %d", header, len(rows))
+	}
+	if rows[0][1] != "5" || rows[0][6] != "2" {
+		t.Fatalf("Table2Reps row = %v", rows[0])
+	}
+
+	header, rows = MeansByKReps(sets)
+	if header[5] != "ci95" || len(rows) != 1 {
+		t.Fatalf("MeansByKReps header %v rows %d", header, len(rows))
+	}
+	if rows[0][0] != "SimT/k=5" || rows[0][2] != "3" {
+		t.Fatalf("MeansByKReps row = %v (alpha should default to 3)", rows[0])
+	}
+}
+
+func TestAggChart(t *testing.T) {
+	sets := sweepTiny(t, 3)
+	var buf bytes.Buffer
+	if err := AggChart(&buf, "test chart", []*stats.AggregateSeries{sets[0].Min}, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("chart missing title")
+	}
+	if !strings.Contains(out, "* ") && !strings.Contains(out, "*") {
+		t.Fatal("chart missing mean glyphs")
+	}
+	if !strings.Contains(out, "(. = 95% CI)") {
+		t.Fatal("chart legend missing CI note")
+	}
+}
+
+func TestAggChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AggChart(&buf, "empty", nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("empty chart output: %q", buf.String())
+	}
+}

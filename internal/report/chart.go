@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// The ASCII chart frame shared by Chart (plain series) and AggChart
+// (replicated series with confidence bands): range computation, grid
+// layout, axes, and legend live here so the two chart styles cannot
+// drift apart.
+
+const chartWidth = 72
+
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// chartXY is one plotted mark.
+type chartXY struct{ t, v float64 }
+
+// chartBand is one vertical confidence interval at an instant.
+type chartBand struct{ t, lo, hi float64 }
+
+// chartLayer is one curve: its glyph marks, optional bands drawn beneath
+// them, and the legend annotation appended after the name.
+type chartLayer struct {
+	name   string
+	legend string // suffix after the name in the legend line
+	points []chartXY
+	bands  []chartBand
+}
+
+// renderChart draws the layers onto a fixed-width grid: bands first (as
+// dots), then each layer's marks with its glyph, then axes and legend.
+func renderChart(w io.Writer, title string, layers []chartLayer, height int) error {
+	if height <= 0 {
+		height = 16
+	}
+
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	maxV := math.Inf(-1)
+	any := false
+	for _, l := range layers {
+		for _, p := range l.points {
+			any = true
+			minT = math.Min(minT, p.t)
+			maxT = math.Max(maxT, p.t)
+			maxV = math.Max(maxV, p.v)
+		}
+		for _, b := range l.bands {
+			maxV = math.Max(maxV, b.hi)
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", title)
+		return err
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	if maxT <= minT {
+		maxT = minT + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", chartWidth))
+	}
+	cell := func(t, v float64) (row, col int) {
+		col = int((t - minT) / (maxT - minT) * float64(chartWidth-1))
+		y := int(v / maxV * float64(height-1))
+		return height - 1 - y, col
+	}
+	for _, l := range layers {
+		for _, b := range l.bands {
+			loRow, col := cell(b.t, b.lo)
+			hiRow, _ := cell(b.t, b.hi)
+			for r := hiRow; r <= loRow; r++ {
+				if r >= 0 && r < height && col >= 0 && col < chartWidth {
+					grid[r][col] = '.'
+				}
+			}
+		}
+	}
+	for li, l := range layers {
+		g := chartGlyphs[li%len(chartGlyphs)]
+		for _, p := range l.points {
+			row, col := cell(p.t, p.v)
+			if row >= 0 && row < height && col >= 0 && col < chartWidth {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		val := maxV * float64(height-1-i) / float64(height-1)
+		if _, err := fmt.Fprintf(w, "%7.1f |%s\n", val, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", chartWidth)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "         %-8.0f%*s\n", minT, chartWidth-8, fmt.Sprintf("%.0f min", maxT)); err != nil {
+		return err
+	}
+	for li, l := range layers {
+		if _, err := fmt.Fprintf(w, "  %c %s%s\n", chartGlyphs[li%len(chartGlyphs)], l.name, l.legend); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -6,24 +6,26 @@ package report
 import (
 	"fmt"
 	"io"
-	"math"
 	"strings"
+	"unicode/utf8"
 
 	"kadre/internal/scenario"
 	"kadre/internal/simnet"
 	"kadre/internal/stats"
 )
 
-// WriteTable renders rows as an aligned text table with a header.
+// WriteTable renders rows as an aligned text table with a header. Cell
+// widths are measured in runes, so multi-byte cells (the ± of the CI
+// columns) stay aligned.
 func WriteTable(w io.Writer, header []string, rows [][]string) error {
 	widths := make([]int, len(header))
 	for i, h := range header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -34,7 +36,7 @@ func WriteTable(w io.Writer, header []string, rows [][]string) error {
 				b.WriteString("  ")
 			}
 			b.WriteString(cell)
-			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+			if pad := widths[i] - utf8.RuneCountInString(cell); pad > 0 && i < len(cells)-1 {
 				b.WriteString(strings.Repeat(" ", pad))
 			}
 		}
@@ -130,77 +132,13 @@ func SnapshotRows(r *scenario.Result) (header []string, rows [][]string) {
 // stand-in for the paper's figures. Each series is drawn with its own
 // glyph; the legend maps glyphs to series names.
 func Chart(w io.Writer, title string, series []*stats.Series, height int) error {
-	if height <= 0 {
-		height = 16
-	}
-	const width = 72
-	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
-
-	// Establish ranges.
-	minT, maxT := math.Inf(1), math.Inf(-1)
-	maxV := math.Inf(-1)
-	any := false
-	for _, s := range series {
+	layers := make([]chartLayer, len(series))
+	for i, s := range series {
+		l := chartLayer{name: s.Name}
 		for _, p := range s.Points {
-			any = true
-			t := p.T.Minutes()
-			if t < minT {
-				minT = t
-			}
-			if t > maxT {
-				maxT = t
-			}
-			if p.Value > maxV {
-				maxV = p.Value
-			}
+			l.points = append(l.points, chartXY{t: p.T.Minutes(), v: p.Value})
 		}
+		layers[i] = l
 	}
-	if !any {
-		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", title)
-		return err
-	}
-	if maxV <= 0 {
-		maxV = 1
-	}
-	if maxT <= minT {
-		maxT = minT + 1
-	}
-
-	grid := make([][]byte, height)
-	for i := range grid {
-		grid[i] = []byte(strings.Repeat(" ", width))
-	}
-	for si, s := range series {
-		g := glyphs[si%len(glyphs)]
-		for _, p := range s.Points {
-			x := int((p.T.Minutes() - minT) / (maxT - minT) * float64(width-1))
-			y := int(p.Value / maxV * float64(height-1))
-			row := height - 1 - y
-			if row >= 0 && row < height && x >= 0 && x < width {
-				grid[row][x] = g
-			}
-		}
-	}
-
-	if _, err := fmt.Fprintln(w, title); err != nil {
-		return err
-	}
-	for i, row := range grid {
-		val := maxV * float64(height-1-i) / float64(height-1)
-		if _, err := fmt.Fprintf(w, "%7.1f |%s\n", val, string(row)); err != nil {
-			return err
-		}
-	}
-	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width)); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "         %-8.0f%*s\n", minT, width-8, fmt.Sprintf("%.0f min", maxT)); err != nil {
-		return err
-	}
-	for si, s := range series {
-		if _, err := fmt.Fprintf(w, "  %c %s\n", glyphs[si%len(glyphs)], s.Name); err != nil {
-			return err
-		}
-	}
-	return nil
+	return renderChart(w, title, layers, height)
 }

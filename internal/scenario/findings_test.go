@@ -31,6 +31,16 @@ func mustRun(t *testing.T, cfg Config) *Result {
 	return res
 }
 
+// skipIfShort gates the full-simulation finding tests out of -short runs
+// (notably CI's race-detector pass, where each would take tens of
+// seconds); the unit and determinism tests still cover the machinery.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-simulation finding test; skipped with -short")
+	}
+}
+
 func minAt(t *testing.T, r *Result, at time.Duration) float64 {
 	t.Helper()
 	v, ok := r.MinSeries().At(at)
@@ -43,6 +53,7 @@ func minAt(t *testing.T, r *Result, at time.Duration) float64 {
 // Finding (§6): "the network connectivity kappa of Kademlia strongly
 // correlates with the bucket size k".
 func TestFindingConnectivityTracksK(t *testing.T) {
+	skipIfShort(t)
 	var stabilized []float64
 	ks := []int{5, 10, 20}
 	for i, k := range ks {
@@ -65,6 +76,7 @@ func TestFindingConnectivityTracksK(t *testing.T) {
 // Finding (§5.5.2): "the data traffic results in an overall improved
 // connectivity" and reaches k-level connectivity earlier.
 func TestFindingTrafficImprovesConnectivity(t *testing.T) {
+	skipIfShort(t)
 	quiet := findingConfig("notraffic", 20, 10)
 	busy := findingConfig("traffic", 20, 10)
 	busy.Traffic = true
@@ -80,6 +92,7 @@ func TestFindingTrafficImprovesConnectivity(t *testing.T) {
 // Finding (§5.5.5 / Table 2): stronger churn lowers the churn-phase mean
 // of the minimum connectivity.
 func TestFindingStrongChurnDepressesMin(t *testing.T) {
+	skipIfShort(t)
 	mild := findingConfig("churn11", 30, 10)
 	mild.Traffic = true
 	mild.Churn = churn.Rate1_1
@@ -99,6 +112,7 @@ func TestFindingStrongChurnDepressesMin(t *testing.T) {
 // Finding (Fig. 12 / §6): "message loss ... actually increases the
 // Kademlia network connectivity" (staleness 1, no churn).
 func TestFindingLossRaisesConnectivity(t *testing.T) {
+	skipIfShort(t)
 	clean := findingConfig("lossnone", 40, 10)
 	clean.Traffic = true
 	clean.ChurnPhase = 40 * time.Minute // observation
@@ -116,6 +130,7 @@ func TestFindingLossRaisesConnectivity(t *testing.T) {
 // Finding (§5.8.2): the greater staleness limit damps the loss-driven
 // connectivity gain.
 func TestFindingStalenessDampsLossGain(t *testing.T) {
+	skipIfShort(t)
 	s1 := findingConfig("s1", 50, 10)
 	s1.Traffic = true
 	s1.Loss = simnet.LossHigh
@@ -133,6 +148,7 @@ func TestFindingStalenessDampsLossGain(t *testing.T) {
 
 // Finding (§5.7): bit-length 80 vs 160 shows no significant difference.
 func TestFindingBitLengthIrrelevant(t *testing.T) {
+	skipIfShort(t)
 	b160 := findingConfig("b160", 60, 10)
 	b160.Traffic = true
 	b80 := b160
@@ -155,6 +171,7 @@ func TestFindingBitLengthIrrelevant(t *testing.T) {
 // rises above the stabilized level (leaving nodes free bucket slots and
 // the network re-wires), before the shrinking size pulls it down.
 func TestFindingDrainChurnTransientRise(t *testing.T) {
+	skipIfShort(t)
 	cfg := findingConfig("drainrise", 70, 10)
 	cfg.Traffic = true
 	cfg.Churn = churn.Rate0_1

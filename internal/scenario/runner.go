@@ -8,6 +8,7 @@ import (
 	"kadre/internal/churn"
 	"kadre/internal/connectivity"
 	"kadre/internal/eventsim"
+	"kadre/internal/par"
 	"kadre/internal/simnet"
 	"kadre/internal/snapshot"
 	"kadre/internal/traffic"
@@ -135,16 +136,25 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// RunAll executes a slice of configs sequentially and returns the results
-// in order.
+// RunAll executes a slice of configs across GOMAXPROCS workers and
+// returns the results in input order. Each run is deterministic in its
+// own seed, so the results are identical to a sequential execution; only
+// wall-clock time changes. Config callbacks (Log, OnSnapshot) may be
+// invoked concurrently from different runs — use RunAllJobs(cfgs, 1) for
+// strictly sequential execution.
 func RunAll(cfgs []Config) ([]*Result, error) {
-	out := make([]*Result, 0, len(cfgs))
-	for _, cfg := range cfgs {
+	return RunAllJobs(cfgs, 0)
+}
+
+// RunAllJobs is RunAll with an explicit worker bound (<= 0 means
+// GOMAXPROCS). On failure it reports the error of the earliest failing
+// config; configs queued after the failure may be skipped.
+func RunAllJobs(cfgs []Config, jobs int) ([]*Result, error) {
+	return par.Map(jobs, cfgs, func(_ int, cfg Config) (*Result, error) {
 		r, err := Run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: %w", cfg.Name, err)
 		}
-		out = append(out, r)
-	}
-	return out, nil
+		return r, nil
+	})
 }

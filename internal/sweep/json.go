@@ -1,0 +1,180 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	"kadre/internal/stats"
+)
+
+// The JSON schema mirrors the RunSet structure: one document per
+// experiment, one entry per configuration, carrying both the raw per-rep
+// snapshot series and the cross-rep aggregates. Undefined statistics (the
+// CI of a single replication) encode as null, never as fabricated zeros.
+// Wall-clock timings are deliberately excluded so that the same sweep
+// always serializes to identical bytes — golden tests depend on it.
+
+// JSONFile is the top-level document written by WriteJSON.
+type JSONFile struct {
+	Experiment string    `json:"experiment"`
+	Title      string    `json:"title"`
+	Scale      string    `json:"scale,omitempty"`
+	Reps       int       `json:"reps"`
+	Jobs       int       `json:"jobs,omitempty"`
+	Runs       []JSONRun `json:"runs"`
+}
+
+// JSONRun is one configuration with its replications and aggregates.
+type JSONRun struct {
+	Name      string `json:"name"`
+	BaseSeed  int64  `json:"base_seed"`
+	Size      int    `json:"size"`
+	K         int    `json:"k"`
+	Alpha     int    `json:"alpha,omitempty"`
+	Bits      int    `json:"bits,omitempty"`
+	Staleness int    `json:"staleness,omitempty"`
+	Churn     string `json:"churn"`
+	Loss      string `json:"loss"`
+	Traffic   bool   `json:"traffic"`
+
+	Reps      []JSONRep     `json:"reps"`
+	Aggregate JSONAggregate `json:"aggregate"`
+}
+
+// JSONRep is the raw outcome of one seeded replication.
+type JSONRep struct {
+	Seed         int64       `json:"seed"`
+	Points       []JSONPoint `json:"points"`
+	ChurnAdded   int         `json:"churn_added"`
+	ChurnRemoved int         `json:"churn_removed"`
+	TrafficOps   int         `json:"traffic_ops"`
+	MsgSent      uint64      `json:"msg_sent"`
+	MsgLost      uint64      `json:"msg_lost"`
+}
+
+// JSONPoint is one snapshot of one replication.
+type JSONPoint struct {
+	TMin     float64 `json:"t_min"`
+	N        int     `json:"n"`
+	Edges    int     `json:"edges"`
+	Min      int     `json:"min_conn"`
+	Avg      float64 `json:"avg_conn"`
+	Symmetry float64 `json:"symmetry"`
+}
+
+// JSONAggregate carries the cross-rep curves and the churn-window summary.
+type JSONAggregate struct {
+	Min         []JSONAggPoint `json:"min_conn"`
+	Avg         []JSONAggPoint `json:"avg_conn"`
+	Size        []JSONAggPoint `json:"size"`
+	ChurnWindow JSONChurnStat  `json:"churn_window"`
+}
+
+// JSONAggPoint is one cross-rep aggregate at one snapshot instant.
+type JSONAggPoint struct {
+	TMin float64  `json:"t_min"`
+	Mean float64  `json:"mean"`
+	Std  float64  `json:"std"`
+	CI95 *float64 `json:"ci95"` // null when undefined (single rep)
+	Min  float64  `json:"min"`
+	Max  float64  `json:"max"`
+}
+
+// JSONChurnStat summarizes the per-rep churn-window means (Table 2's
+// quantity) across replications.
+type JSONChurnStat struct {
+	Means []*float64 `json:"rep_means"`
+	Mean  *float64   `json:"mean"`
+	CI95  *float64   `json:"ci95"`
+}
+
+func finiteOrNil(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func aggPoints(a *stats.AggregateSeries) []JSONAggPoint {
+	out := make([]JSONAggPoint, 0, a.Len())
+	for _, p := range a.Points {
+		out = append(out, JSONAggPoint{
+			TMin: p.T.Minutes(), Mean: p.Mean, Std: p.Std,
+			CI95: finiteOrNil(p.CI95), Min: p.Min, Max: p.Max,
+		})
+	}
+	return out
+}
+
+// JSONMeta labels a document; Scale and Jobs are informational only.
+type JSONMeta struct {
+	Experiment string
+	Title      string
+	Scale      string
+	Jobs       int
+}
+
+// BuildJSON assembles the document for a finished sweep.
+func BuildJSON(meta JSONMeta, sets []*RunSet) *JSONFile {
+	file := &JSONFile{
+		Experiment: meta.Experiment,
+		Title:      meta.Title,
+		Scale:      meta.Scale,
+		Jobs:       meta.Jobs,
+		Runs:       make([]JSONRun, 0, len(sets)),
+	}
+	for _, rs := range sets {
+		if file.Reps == 0 {
+			file.Reps = len(rs.Reps)
+		}
+		cfg := rs.Config
+		run := JSONRun{
+			Name: cfg.Name, BaseSeed: cfg.Seed, Size: cfg.Size,
+			K: cfg.K, Alpha: cfg.Alpha, Bits: cfg.Bits, Staleness: cfg.Staleness,
+			Churn: cfg.Churn.String(), Loss: cfg.Loss.String(), Traffic: cfg.Traffic,
+		}
+		for _, r := range rs.Reps {
+			rep := JSONRep{
+				Seed:         r.Config.Seed,
+				ChurnAdded:   r.ChurnAdded,
+				ChurnRemoved: r.ChurnRemoved,
+				TrafficOps:   r.TrafficOps,
+				MsgSent:      r.Network.Sent,
+				MsgLost:      r.Network.Lost,
+				Points:       make([]JSONPoint, 0, len(r.Points)),
+			}
+			for _, p := range r.Points {
+				rep.Points = append(rep.Points, JSONPoint{
+					TMin: p.Time.Minutes(), N: p.N, Edges: p.Edges,
+					Min: p.Min, Avg: p.Avg, Symmetry: p.Symmetry,
+				})
+			}
+			run.Reps = append(run.Reps, rep)
+		}
+		means := rs.ChurnWindowMeans()
+		jsonMeans := make([]*float64, len(means))
+		for i, m := range means {
+			jsonMeans[i] = finiteOrNil(m)
+		}
+		run.Aggregate = JSONAggregate{
+			Min:  aggPoints(rs.Min),
+			Avg:  aggPoints(rs.Avg),
+			Size: aggPoints(rs.Size),
+			ChurnWindow: JSONChurnStat{
+				Means: jsonMeans,
+				Mean:  finiteOrNil(stats.Mean(means)),
+				CI95:  finiteOrNil(stats.CI95Half(means)),
+			},
+		}
+		file.Runs = append(file.Runs, run)
+	}
+	return file
+}
+
+// WriteJSON serializes a finished sweep as an indented JSON document.
+func WriteJSON(w io.Writer, meta JSONMeta, sets []*RunSet) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildJSON(meta, sets))
+}

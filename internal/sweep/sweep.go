@@ -1,0 +1,203 @@
+// Package sweep is the parallel experiment orchestrator: it fans scenario
+// runs out across a worker pool, replicates every configuration R times
+// with derived seeds (the paper's §5.4 repeated-run methodology), and
+// collapses the replications into cross-run mean / standard deviation /
+// 95% confidence-interval curves per snapshot instant.
+//
+// Determinism is a hard contract: each scenario run is a pure function of
+// its config (the event-sim kernel is single-goroutine and seeded), jobs
+// are distributed over workers in input order with results written back by
+// index, and seed derivation depends only on (base seed, rep). The same
+// sweep therefore produces identical Results under any worker count — the
+// property the determinism tests pin down under the race detector.
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kadre/internal/par"
+	"kadre/internal/scenario"
+	"kadre/internal/stats"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Reps is the number of seed replications per config; <= 0 means 1.
+	// Rep 0 always runs the config's own seed, so Reps=1 reproduces a
+	// plain scenario.Run byte for byte.
+	Reps int
+	// Jobs bounds the number of concurrently executing runs; <= 0 means
+	// GOMAXPROCS.
+	Jobs int
+	// Progress, when set, receives one event per completed run. Events are
+	// delivered serially (never concurrently) but in completion order,
+	// which depends on scheduling; the Done counter is monotonic.
+	Progress func(Event)
+}
+
+// Event reports one completed (or failed) run to the Progress callback.
+type Event struct {
+	Name    string        // config name
+	Rep     int           // replication index, 0-based
+	Seed    int64         // derived seed the run used
+	Done    int           // completed runs so far, including this one
+	Total   int           // total runs in the sweep
+	Elapsed time.Duration // wall-clock cost of this run
+	Err     error         // non-nil if the run failed
+}
+
+// RunSet is the outcome of all replications of one configuration.
+type RunSet struct {
+	// Config is the base configuration (rep 0; its seed is the base seed).
+	Config scenario.Config
+	// Reps holds the per-replication results in rep order.
+	Reps []*scenario.Result
+	// Min, Avg and Size are the cross-replication aggregates of the
+	// minimum-connectivity, average-connectivity and live-size curves.
+	Min, Avg, Size *stats.AggregateSeries
+}
+
+// ChurnWindowMeans returns each replication's mean minimum connectivity
+// during the churn phase — the per-run quantity behind Table 2 — so
+// callers can report its cross-run mean and confidence interval.
+func (rs *RunSet) ChurnWindowMeans() []float64 {
+	out := make([]float64, len(rs.Reps))
+	for i, r := range rs.Reps {
+		out[i] = r.ChurnWindowSummary().Mean
+	}
+	return out
+}
+
+// DeriveSeed maps a base seed and replication index to the seed of that
+// replication. Rep 0 is the base seed itself (so single-rep sweeps match
+// historical runs exactly); higher reps pass the pair through a
+// splitmix64-style mixer so that consecutive bases and consecutive reps
+// land on unrelated streams rather than the overlapping ones plain
+// seed+rep arithmetic would give (presets already use seed, seed+1, ...).
+func DeriveSeed(base int64, rep int) int64 {
+	if base == 0 {
+		base = 1 // scenario's withDefaults treats 0 as 1
+	}
+	if rep == 0 {
+		return base
+	}
+	x := uint64(base) + uint64(rep)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	seed := int64(x)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// Run executes every configuration Reps times across the worker pool and
+// returns one RunSet per configuration, in input order. Any run failure
+// aborts the sweep with the error of the smallest (config, rep) index;
+// in-flight runs complete, and queued runs beyond the failure may be
+// skipped.
+func Run(cfgs []scenario.Config, opts Options) ([]*RunSet, error) {
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+
+	type job struct {
+		cfg scenario.Config
+		rep int
+	}
+	jobs := make([]job, 0, len(cfgs)*reps)
+	for _, cfg := range cfgs {
+		for r := 0; r < reps; r++ {
+			jc := cfg
+			jc.Seed = DeriveSeed(cfg.Seed, r)
+			jobs = append(jobs, job{cfg: jc, rep: r})
+		}
+	}
+
+	progress := newProgressGate(opts.Progress, len(jobs))
+	results, err := par.Map(opts.Jobs, jobs, func(i int, j job) (*scenario.Result, error) {
+		res, rerr := scenario.Run(j.cfg)
+		var elapsed time.Duration
+		if res != nil {
+			elapsed = res.Elapsed
+		}
+		progress.emit(Event{
+			Name: j.cfg.Name, Rep: j.rep, Seed: j.cfg.Seed,
+			Elapsed: elapsed, Err: rerr,
+		})
+		if rerr != nil {
+			return nil, fmt.Errorf("scenario %q rep %d (seed %d): %w", j.cfg.Name, j.rep, j.cfg.Seed, rerr)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sets := make([]*RunSet, len(cfgs))
+	for ci := range cfgs {
+		rs := &RunSet{Config: cfgs[ci], Reps: results[ci*reps : (ci+1)*reps]}
+		rs.Config.Seed = DeriveSeed(cfgs[ci].Seed, 0)
+		if err := rs.aggregate(); err != nil {
+			return nil, fmt.Errorf("sweep: config %q: %w", rs.Config.Name, err)
+		}
+		sets[ci] = rs
+	}
+	return sets, nil
+}
+
+func (rs *RunSet) aggregate() error {
+	mins := make([]*stats.Series, len(rs.Reps))
+	avgs := make([]*stats.Series, len(rs.Reps))
+	sizes := make([]*stats.Series, len(rs.Reps))
+	for i, r := range rs.Reps {
+		mins[i] = r.MinSeries()
+		avgs[i] = r.AvgSeries()
+		sizes[i] = r.SizeSeries()
+	}
+	var err error
+	if rs.Min, err = stats.AggregateAligned(rs.Config.Name+"/min", mins); err != nil {
+		return err
+	}
+	if rs.Avg, err = stats.AggregateAligned(rs.Config.Name+"/avg", avgs); err != nil {
+		return err
+	}
+	rs.Size, err = stats.AggregateAligned(rs.Config.Name+"/size", sizes)
+	return err
+}
+
+// RunExperiment is Run over an experiment's configurations.
+func RunExperiment(exp scenario.Experiment, opts Options) ([]*RunSet, error) {
+	return Run(exp.Configs, opts)
+}
+
+// progressGate serializes Progress callbacks and owns the Done counter so
+// callers receive events one at a time without locking on their side.
+type progressGate struct {
+	mu    sync.Mutex
+	fn    func(Event)
+	total int
+	done  int
+}
+
+func newProgressGate(fn func(Event), total int) *progressGate {
+	return &progressGate{fn: fn, total: total}
+}
+
+func (g *progressGate) emit(ev Event) {
+	if g.fn == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.done++
+	ev.Done = g.done
+	ev.Total = g.total
+	g.fn(ev)
+}

@@ -219,8 +219,19 @@ var (
 // RunScenario executes one simulation and returns its measurements.
 func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) { return scenario.Run(cfg) }
 
-// RunExperiment executes every run of an experiment sequentially.
+// RunExperiment executes every run of an experiment across GOMAXPROCS
+// workers and returns the results in config order. Each run is
+// deterministic in its own seed, so the results match a sequential
+// execution. Config callbacks (Log, OnSnapshot) may be invoked
+// concurrently from different runs; use RunExperimentJobs(e, 1) when
+// callbacks require sequential execution.
 func RunExperiment(e Experiment) ([]*ScenarioResult, error) { return scenario.RunAll(e.Configs) }
+
+// RunExperimentJobs is RunExperiment with an explicit worker bound
+// (<= 0 means GOMAXPROCS; 1 runs strictly sequentially).
+func RunExperimentJobs(e Experiment, jobs int) ([]*ScenarioResult, error) {
+	return scenario.RunAllJobs(e.Configs, jobs)
+}
 
 // ScaleByName resolves "paper", "reduced", or "tiny".
 func ScaleByName(name string) (Scale, error) { return scenario.ScaleByName(name) }
