@@ -1,0 +1,284 @@
+// Command kadattack runs the adversarial node-removal experiments: every
+// requested strategy attacks the same seeded network (identical topology
+// and traffic until the attack window opens), and the output compares how
+// fast each strategy degrades the paper's resilience metrics — minimum
+// and average vertex connectivity, and the largest-SCC fraction — per
+// node removed.
+//
+// Strategies (see internal/attack):
+//
+//	random   uniformly chosen victims: the baseline tying back to the
+//	         paper's random churn, but on the adversary's schedule
+//	degree   highest-degree victims (out+in in the latest snapshot)
+//	cutset   victims on a minimum vertex cut of the latest snapshot —
+//	         the adversary the paper's Equation 2 reasons about
+//	eclipse  victims closest by XOR distance to a target identifier,
+//	         erasing a keyspace region
+//
+// Runs execute on the parallel sweep engine with seed replication, so
+// attack curves carry cross-rep confidence intervals like every other
+// experiment. Every run is deterministic in its seed and the CSV/JSON
+// artefacts exclude wall-clock data and the worker count, so the same
+// invocation produces byte-identical files for any -jobs value.
+//
+// Flags:
+//
+//	-scale s         paper, reduced, tiny (default reduced)
+//	-strategies csv  comma-separated strategy list (default all four)
+//	-seed n          base seed (default 1)
+//	-reps r          seed replications per strategy (default 1)
+//	-jobs j          concurrent runs; 0 means GOMAXPROCS (default 0)
+//	-budget n        total removals per run (default: half the network)
+//	-interval d      strike interval (default: attack window / 8)
+//	-csv dir         write per-strategy degradation CSVs
+//	-json dir        write one JSON document (attack.json)
+//	-checkpoint dir  persist per-run results; resume skips finished runs
+//	-quiet           suppress progress lines
+//
+// Examples:
+//
+//	kadattack -scale tiny
+//	kadattack -scale tiny -strategies random,degree,cutset,eclipse
+//	kadattack -scale reduced -reps 5 -csv out/ -json out/
+//	kadattack -scale paper -reps 3 -checkpoint ckpt/ -json out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"kadre/internal/attack"
+	"kadre/internal/report"
+	"kadre/internal/scenario"
+	"kadre/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kadattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("kadattack", flag.ContinueOnError)
+	var (
+		scaleName  = fs.String("scale", "reduced", "scale: paper, reduced, tiny")
+		strategies = fs.String("strategies", "random,degree,cutset,eclipse", "comma-separated attack strategies")
+		seed       = fs.Int64("seed", 1, "base seed")
+		reps       = fs.Int("reps", 1, "seed replications per strategy")
+		jobs       = fs.Int("jobs", 0, "concurrent runs (0 = GOMAXPROCS)")
+		budget     = fs.Int("budget", 0, "total removals per run (0 = half the network)")
+		interval   = fs.Duration("interval", 0, "strike interval (0 = attack window / 8)")
+		csvDir     = fs.String("csv", "", "directory for degradation CSVs")
+		jsonDir    = fs.String("json", "", "directory for the JSON document")
+		ckptDir    = fs.String("checkpoint", "", "directory for per-run checkpoints (resume support)")
+		quiet      = fs.Bool("quiet", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d must be >= 1", *reps)
+	}
+	if *jobs < 0 {
+		return fmt.Errorf("-jobs %d must be >= 0", *jobs)
+	}
+	if *budget < 0 {
+		return fmt.Errorf("-budget %d must be >= 0", *budget)
+	}
+	scale, err := scenario.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	strats, err := attack.ParseStrategies(*strategies)
+	if err != nil {
+		return err
+	}
+
+	exp := scale.AttackExperiment(*seed, strats)
+	phase, _ := scale.AttackPhase()
+	for i := range exp.Configs {
+		cfg := &exp.Configs[i]
+		if *interval > 0 {
+			cfg.Attack.Interval = *interval
+		}
+		if *budget > 0 {
+			cfg.Attack.Budget = *budget
+		}
+		if *interval > 0 || *budget > 0 {
+			// Re-spread the effective budget over the strikes that
+			// actually fit the window at the effective interval.
+			cfg.Attack.Kills = scenario.AttackKills(cfg.Attack.Budget, phase, cfg.Attack.Interval)
+		}
+	}
+
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+
+	opts := sweep.Options{Reps: *reps, Jobs: *jobs}
+	if *ckptDir != "" {
+		if opts.Checkpoint, err = sweep.NewCheckpointer(*ckptDir); err != nil {
+			return err
+		}
+	}
+	if !*quiet {
+		opts.Progress = func(ev sweep.Event) {
+			status := fmt.Sprintf("%v", ev.Elapsed.Round(time.Millisecond))
+			if ev.Cached {
+				status = "checkpoint"
+			}
+			if ev.Err != nil {
+				status = "FAILED: " + ev.Err.Error()
+			}
+			fmt.Fprintf(stdout, "  [%d/%d] %s rep %d seed %d (%s)\n",
+				ev.Done, ev.Total, ev.Name, ev.Rep, ev.Seed, status)
+		}
+	}
+
+	fmt.Fprintf(stdout, "=== attack: %s (scale %s, %d strategies x %d reps) ===\n",
+		exp.Title, scale.Name, len(exp.Configs), *reps)
+	sets, err := sweep.RunExperiment(exp, opts)
+	if err != nil {
+		return err
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, sets); err != nil {
+			return err
+		}
+	}
+	if *jsonDir != "" {
+		// Jobs is deliberately left out of the metadata: the document must
+		// be byte-identical for every -jobs value.
+		f, err := os.Create(filepath.Join(*jsonDir, "attack.json"))
+		if err != nil {
+			return err
+		}
+		meta := sweep.JSONMeta{Experiment: exp.ID, Title: exp.Title, Scale: scale.Name}
+		if err := sweep.WriteJSON(f, meta, sets); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	return render(stdout, exp, *reps, sets)
+}
+
+func render(w io.Writer, exp scenario.Experiment, reps int, sets []*sweep.RunSet) error {
+	if reps > 1 {
+		if err := report.AggDegradationChart(w, exp.Title+" — min connectivity vs removed (mean of reps)", sets, 14); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		header, rows := report.AttackTableReps(sets)
+		fmt.Fprintln(w, "Attack summary (cross-replication means)")
+		return report.WriteTable(w, header, rows)
+	}
+	results := make([]*scenario.Result, len(sets))
+	for i, rs := range sets {
+		results[i] = rs.Reps[0]
+	}
+	if err := report.DegradationChart(w, exp.Title+" — minimum connectivity", results, 14); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := report.SCCDegradationChart(w, exp.Title+" — largest-SCC fraction", results, 14); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	header, rows := report.AttackTable(results)
+	fmt.Fprintln(w, "Attack summary")
+	if err := report.WriteTable(w, header, rows); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "\n%s\n", r.Config.Name)
+		header, rows := report.AttackSnapshotRows(r)
+		if err := report.WriteTable(w, header, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvName flattens a run name ("Attack/cutset") into a file name.
+func csvName(name string) string {
+	return strings.NewReplacer("/", "_", "=", "").Replace(name)
+}
+
+// writeCSVs emits one degradation CSV per replication (rep 0 keeps the
+// plain name) and a cross-strategy summary.
+func writeCSVs(dir string, sets []*sweep.RunSet) error {
+	for _, rs := range sets {
+		for rep, r := range rs.Reps {
+			name := csvName(rs.Config.Name)
+			if rep > 0 {
+				name = fmt.Sprintf("%s_r%d", name, rep)
+			}
+			if err := writeDegradationCSV(filepath.Join(dir, name+".csv"), r); err != nil {
+				return err
+			}
+		}
+	}
+	return writeSummaryCSV(filepath.Join(dir, "attack_summary.csv"), sets)
+}
+
+func writeDegradationCSV(path string, r *scenario.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "t_min,removed,n,edges,min_conn,avg_conn,scc_frac"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(f, "%.0f,%d,%d,%d,%d,%.3f,%.4f\n",
+			p.Time.Minutes(), p.Removed, p.N, p.Edges, p.Min, p.Avg, p.SCC); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func writeSummaryCSV(path string, sets []*sweep.RunSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "strategy,reps,removed_mean,churn_window_min_mean,final_min_mean,final_scc_mean"); err != nil {
+		return err
+	}
+	for _, rs := range sets {
+		var removed, finalMin, finalSCC, winMean float64
+		for _, r := range rs.Reps {
+			removed += float64(r.AttackRemoved)
+			winMean += r.ChurnWindowSummary().Mean
+			if len(r.Points) > 0 {
+				finalMin += float64(r.Points[len(r.Points)-1].Min)
+				finalSCC += r.Points[len(r.Points)-1].SCC
+			}
+		}
+		n := float64(len(rs.Reps))
+		if _, err := fmt.Fprintf(f, "%s,%d,%.1f,%.3f,%.2f,%.4f\n",
+			rs.Config.Attack.Strategy, len(rs.Reps), removed/n, winMean/n, finalMin/n, finalSCC/n); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

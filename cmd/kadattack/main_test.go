@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kadre/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runDir invokes the CLI writing CSV and JSON artefacts into a fresh dir.
+func runDir(t *testing.T, dir string, extra ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	args := append([]string{"-scale", "tiny", "-quiet", "-csv", dir, "-json", dir}, extra...)
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestAttackEndToEnd is the acceptance run: all four strategies at tiny
+// scale must produce byte-identical artefacts across -jobs values, and
+// the cutset adversary must degrade connectivity at least as fast as the
+// random baseline.
+func TestAttackEndToEnd(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	out := runDir(t, dir1, "-jobs", "1")
+	runDir(t, dir2, "-jobs", "8")
+
+	// Rendering sanity: degradation axes and the summary table.
+	for _, want := range []string{"removed", "Attack summary", "minimum connectivity", "largest-SCC fraction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Byte-identical artefacts regardless of worker count.
+	files, err := filepath.Glob(filepath.Join(dir1, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 6 { // 4 per-strategy CSVs + summary CSV + attack.json
+		t.Fatalf("got %d artefacts, want 6: %v", len(files), files)
+	}
+	for _, f1 := range files {
+		f2 := filepath.Join(dir2, filepath.Base(f1))
+		b1, err := os.ReadFile(f1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s differs between -jobs 1 and -jobs 8", filepath.Base(f1))
+		}
+	}
+
+	// Parse the JSON document and compare strategies on the attack
+	// window: the cutset adversary's min-connectivity area must not
+	// exceed the random baseline's.
+	data, err := os.ReadFile(filepath.Join(dir1, "attack.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc sweep.JSONFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 4 {
+		t.Fatalf("got %d runs, want 4 strategies", len(doc.Runs))
+	}
+	area := map[string]float64{}
+	for _, run := range doc.Runs {
+		strategy := strings.TrimPrefix(run.Name, "Attack/")
+		if run.Attack == "" {
+			t.Fatalf("run %q missing attack description", run.Name)
+		}
+		rep := run.Reps[0]
+		if rep.AttackRemoved == 0 || len(rep.Victims) != rep.AttackRemoved {
+			t.Fatalf("run %q: removed %d, victim log %d", run.Name, rep.AttackRemoved, len(rep.Victims))
+		}
+		attacked := false
+		for _, p := range rep.Points {
+			if p.Removed > 0 {
+				attacked = true
+				area[strategy] += float64(p.Min)
+			}
+		}
+		if !attacked {
+			t.Fatalf("run %q has no post-attack snapshot", run.Name)
+		}
+	}
+	if area["cutset"] > area["random"] {
+		t.Fatalf("cutset min-connectivity area %.1f exceeds random baseline %.1f — the targeted adversary must degrade at least as fast",
+			area["cutset"], area["random"])
+	}
+}
+
+// TestGoldenTinyAttack pins the numeric output of one tiny cutset run
+// byte for byte: simulator or analyzer refactors that shift any measured
+// value fail here first. Regenerate with: go test ./cmd/kadattack -run
+// Golden -update
+func TestGoldenTinyAttack(t *testing.T) {
+	dir := t.TempDir()
+	runDir(t, dir, "-strategies", "cutset", "-jobs", "2")
+	got, err := os.ReadFile(filepath.Join(dir, "attack.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "attack_tiny_cutset.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tiny cutset attack run drifted from golden fixture %s (run with -update to regenerate after intentional changes)", golden)
+	}
+}
+
+// TestBudgetIntervalOverride pins the flag arithmetic: a coarse custom
+// interval leaves only 3 strikes in the tiny window, and the kill count
+// must be re-spread so the requested budget is still exhausted.
+func TestBudgetIntervalOverride(t *testing.T) {
+	dir := t.TempDir()
+	runDir(t, dir, "-strategies", "degree", "-budget", "20", "-interval", "15m")
+	data, err := os.ReadFile(filepath.Join(dir, "attack.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc sweep.JSONFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Runs[0].Reps[0].AttackRemoved; got != 20 {
+		t.Fatalf("removed %d, want the full -budget 20 despite the 15m -interval", got)
+	}
+}
+
+// TestCheckpointResumeFlag exercises the -checkpoint flag end to end: a
+// second invocation replays every run from disk.
+func TestCheckpointResumeFlag(t *testing.T) {
+	ckpt := t.TempDir()
+	var first, second bytes.Buffer
+	args := []string{"-scale", "tiny", "-strategies", "random,degree", "-checkpoint", ckpt}
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(first.String(), "(checkpoint)") {
+		t.Fatal("first run claims checkpoint replays")
+	}
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(second.String(), "(checkpoint)"); got != 2 {
+		t.Fatalf("second run replayed %d runs from checkpoints, want 2:\n%s", got, second.String())
+	}
+	// Replayed rendering must match the fresh rendering (progress lines
+	// aside, which carry wall-clock timings).
+	trim := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "  [") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if trim(first.String()) != trim(second.String()) {
+		t.Fatalf("resumed rendering differs:\n--- fresh ---\n%s\n--- resumed ---\n%s", first.String(), second.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	discard := &bytes.Buffer{}
+	for _, bad := range [][]string{
+		{"-scale", "galactic"},
+		{"-strategies", "random,klingon"},
+		{"-reps", "0"},
+		{"-jobs", "-1"},
+		{"-budget", "-5"},
+	} {
+		if err := run(bad, discard); err == nil {
+			t.Errorf("args %v should fail", bad)
+		}
+	}
+}

@@ -27,6 +27,9 @@
 //	-csv dir      write one CSV per run (and per-config aggregate CSVs
 //	              when -reps > 1)
 //	-json dir     write one JSON document per experiment
+//	-checkpoint d persist every completed run to directory d and, on a
+//	              later invocation, replay finished runs from disk
+//	              instead of re-executing them (sweep resume)
 //	-list         list experiments and exit
 //	-quiet        suppress progress lines
 //
@@ -94,6 +97,7 @@ type options struct {
 	jobs    int
 	csvDir  string
 	jsonDir string
+	ckpt    *sweep.Checkpointer
 	quiet   bool
 	stdout  io.Writer
 }
@@ -110,6 +114,7 @@ func run(args []string, stdout io.Writer) error {
 		jobs      = fs.Int("jobs", 0, "concurrent runs (0 = GOMAXPROCS)")
 		csvDir    = fs.String("csv", "", "directory for per-run CSV series")
 		jsonDir   = fs.String("json", "", "directory for per-experiment JSON results")
+		ckptDir   = fs.String("checkpoint", "", "directory for per-run checkpoints (resume support)")
 		list      = fs.Bool("list", false, "list experiments and exit")
 		quiet     = fs.Bool("quiet", false, "suppress progress lines")
 	)
@@ -130,6 +135,11 @@ func run(args []string, stdout io.Writer) error {
 	opts := options{
 		scale: scale, seed: *seed, reps: *reps, jobs: *jobs,
 		csvDir: *csvDir, jsonDir: *jsonDir, quiet: *quiet, stdout: stdout,
+	}
+	if *ckptDir != "" {
+		if opts.ckpt, err = sweep.NewCheckpointer(*ckptDir); err != nil {
+			return err
+		}
 	}
 
 	if *list {
@@ -189,10 +199,13 @@ func runExperiment(expID string, opts options) error {
 		exp.ID, exp.Title, opts.scale.Name, len(exp.Configs), opts.reps, opts.jobs)
 	start := time.Now()
 
-	swOpts := sweep.Options{Reps: opts.reps, Jobs: opts.jobs}
+	swOpts := sweep.Options{Reps: opts.reps, Jobs: opts.jobs, Checkpoint: opts.ckpt}
 	if !opts.quiet {
 		swOpts.Progress = func(ev sweep.Event) {
 			status := fmt.Sprintf("%v", ev.Elapsed.Round(time.Millisecond))
+			if ev.Cached {
+				status = "checkpoint"
+			}
 			if ev.Err != nil {
 				status = "FAILED: " + ev.Err.Error()
 			}

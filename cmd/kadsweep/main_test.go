@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,8 @@ import (
 
 	"kadre/internal/sweep"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // listGolden is the full -list output at the default (reduced) scale; it
 // doubles as a regression net over the experiment catalogue.
@@ -30,6 +33,7 @@ const listGolden = `available experiments (paper artefact -> id):
   figure12  Sim J: loss sweep, churn 0/0, s in {1,5} (6 runs)
   figure13  Sim K: loss sweep, churn 1/1, s in {1,5} (6 runs)
   figure14  Sim L: loss sweep, churn 10/10, s in {1,5} (6 runs)
+  attack    targeted node removal: connectivity degradation by strategy (4 runs)
 `
 
 func TestRunListGolden(t *testing.T) {
@@ -149,6 +153,64 @@ func TestRunFigure2TinyEndToEnd(t *testing.T) {
 		if run.Churn != "0/1" || run.Traffic {
 			t.Fatalf("run %q config wrong in JSON: churn=%q traffic=%v", run.Name, run.Churn, run.Traffic)
 		}
+	}
+}
+
+// TestGoldenTinyFigure2 pins the numeric output of the tiny figure2
+// sweep byte for byte (the ROADMAP's "numeric regression pinning"):
+// simulator, analyzer, or sweep refactors that shift any measured value
+// fail here first. Regenerate with: go test ./cmd/kadsweep -run Golden
+// -update
+func TestGoldenTinyFigure2(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	args := []string{"-exp", "figure2", "-scale", "tiny", "-jobs", "2", "-quiet", "-json", dir}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "figure2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "figure2_tiny.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tiny figure2 sweep drifted from golden fixture %s (run with -update to regenerate after intentional changes)", golden)
+	}
+}
+
+// TestCheckpointFlag exercises -checkpoint end to end: the second
+// invocation replays all runs from disk and renders identically.
+func TestCheckpointFlag(t *testing.T) {
+	ckpt := t.TempDir()
+	var first, second bytes.Buffer
+	args := []string{"-exp", "figure2", "-scale", "tiny", "-checkpoint", ckpt}
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(second.String(), "(checkpoint)"); got != 4 {
+		t.Fatalf("second run replayed %d runs from checkpoints, want 4", got)
+	}
+	files, err := filepath.Glob(filepath.Join(ckpt, "*.ckpt.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Fatalf("got %d checkpoint files, want 4", len(files))
 	}
 }
 

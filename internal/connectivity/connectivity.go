@@ -62,6 +62,11 @@ type Options struct {
 	// MinOnly skips exact flow values above the running minimum, which
 	// prunes work but leaves Avg meaningless (reported as NaN).
 	MinOnly bool
+	// SkipMinPair reports MinPair as {-1, -1} without computing it.
+	// Under MinOnly the deterministic pair needs a second capped sweep
+	// (see lexMinPair), so callers that only read Min — the per-snapshot
+	// analyzers on the hot path — should skip it.
+	SkipMinPair bool
 }
 
 // Result reports the connectivity of one graph.
@@ -72,7 +77,12 @@ type Result struct {
 	Pairs    int     // number of (source, target) pairs evaluated
 	Sources  int     // number of source vertices used
 	Complete bool    // graph was complete: Min = N-1 by definition
-	MinPair  [2]int  // lexicographically smallest pair achieving Min ({-1,-1} if none)
+	// MinPair is the lexicographically smallest evaluated (source, target)
+	// pair achieving Min, or {-1, -1} if no pair was evaluated or the
+	// analyzer was built with SkipMinPair. It is deterministic for a given
+	// graph and options — independent of worker count and scheduling,
+	// with or without MinOnly pruning.
+	MinPair [2]int
 }
 
 // Resilience returns r = kappa - 1, the number of compromised nodes the
@@ -248,10 +258,99 @@ func (a *Analyzer) Analyze(g *graph.Digraph) Result {
 	}
 	if a.opts.MinOnly {
 		out.Avg = math.NaN()
+		if a.opts.SkipMinPair {
+			out.MinPair = [2]int{-1, -1}
+		} else {
+			out.MinPair = a.lexMinPair(g, sources, edges, out.Min)
+		}
 	} else {
 		out.Avg = float64(sum) / float64(out.Pairs)
+		if a.opts.SkipMinPair {
+			out.MinPair = [2]int{-1, -1}
+		}
 	}
 	return out
+}
+
+// lexMinPair re-selects MinPair deterministically after a MinOnly sweep.
+// Pruned sweeps evaluate most pairs with a capped solver, so the pair the
+// sweep attributes the minimum to depends on worker scheduling — and a
+// capped evaluation can even credit the minimum to a pair whose true
+// connectivity is larger (the cap hides the difference). A second pass
+// with limit min+1 distinguishes flow == min from flow > min exactly;
+// scanning sources in ascending vertex order and targets in ascending
+// order yields the lexicographically smallest minimizing evaluated pair
+// under any worker count. The pass is bounded by min+1 augmenting paths
+// per pair and stops as soon as no smaller pair can exist.
+func (a *Analyzer) lexMinPair(g *graph.Digraph, sources []int, edges []maxflow.Edge, min int) [2]int {
+	n := g.N()
+	sorted := append([]int(nil), sources...)
+	sort.Ints(sorted)
+
+	// hits[i] is the smallest minimizing target of sorted[i], or -1. Each
+	// slot is written by exactly one worker.
+	hits := make([]int, len(sorted))
+	var (
+		mu       sync.Mutex
+		next     int
+		firstHit = len(sorted) // smallest index with a hit so far
+		wg       sync.WaitGroup
+	)
+	workers := a.opts.Workers
+	if workers > len(sorted) {
+		workers = len(sorted)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			solver := a.opts.Algorithm.NewSolver(2*n, edges)
+			for {
+				mu.Lock()
+				idx := next
+				if idx >= len(sorted) || idx > firstHit {
+					// Sources past an existing hit cannot yield a
+					// lexicographically smaller pair.
+					mu.Unlock()
+					return
+				}
+				next++
+				mu.Unlock()
+
+				src := sorted[idx]
+				hits[idx] = -1
+				for tgt := 0; tgt < n; tgt++ {
+					if tgt == src || g.HasEdge(src, tgt) {
+						continue
+					}
+					mu.Lock()
+					obsolete := firstHit < idx
+					mu.Unlock()
+					if obsolete {
+						break
+					}
+					if solver.MaxFlowLimit(graph.Out(src), graph.In(tgt), min+1) == min {
+						hits[idx] = tgt
+						mu.Lock()
+						if idx < firstHit {
+							firstHit = idx
+						}
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstHit < len(sorted) {
+		return [2]int{sorted[firstHit], hits[firstHit]}
+	}
+	return [2]int{-1, -1}
 }
 
 // pickSources returns the flow-source vertices: all of them for a full

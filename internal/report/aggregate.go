@@ -103,5 +103,5 @@ func AggChart(w io.Writer, title string, series []*stats.AggregateSeries, height
 		}
 		layers[i] = l
 	}
-	return renderChart(w, title, layers, height)
+	return renderChart(w, title, layers, height, "min")
 }

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kadre/internal/attack"
+	"kadre/internal/scenario"
+	"kadre/internal/sweep"
+)
+
+// fakeAttackResult fabricates a degradation series without running a
+// simulation: removed climbs 0,4,8 while min connectivity falls 8,4,0.
+func fakeAttackResult(name string, strategy attack.Strategy) *scenario.Result {
+	cfg := scenario.Config{
+		Name: name, Seed: 1, Size: 20, K: 8,
+		Setup: 10 * time.Minute, Stabilize: 10 * time.Minute,
+		ChurnPhase:       30 * time.Minute,
+		SnapshotInterval: 10 * time.Minute,
+		Attack:           attack.Config{Strategy: strategy, Budget: 8, Kills: 4, Interval: 10 * time.Minute},
+	}.WithDefaults()
+	r := &scenario.Result{Config: cfg, AttackRemoved: 8}
+	for i, min := range []int{8, 8, 8, 4, 0} {
+		removed := 0
+		if t := time.Duration(i+1) * 10 * time.Minute; t > cfg.ChurnStart() {
+			removed = 4 * int((t-cfg.ChurnStart())/(10*time.Minute))
+			if removed > cfg.Attack.Budget {
+				removed = cfg.Attack.Budget
+			}
+		}
+		r.Points = append(r.Points, scenario.SnapshotStat{
+			Time: time.Duration(i+1) * 10 * time.Minute, N: 20 - removed,
+			Edges: 100, Min: min, Avg: float64(min) + 1,
+			SCC: 1 - float64(removed)/20, Removed: removed,
+		})
+	}
+	return r
+}
+
+func TestDegradationChartAxisAndCurves(t *testing.T) {
+	results := []*scenario.Result{
+		fakeAttackResult("Attack/degree", attack.Degree),
+		fakeAttackResult("Attack/random", attack.Random),
+	}
+	var buf bytes.Buffer
+	if err := DegradationChart(&buf, "degradation", results, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "8 removed") {
+		t.Fatalf("x axis not labeled in removals:\n%s", out)
+	}
+	for _, name := range []string{"Attack/degree", "Attack/random"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("legend missing %q:\n%s", name, out)
+		}
+	}
+
+	buf.Reset()
+	if err := SCCDegradationChart(&buf, "scc", results, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "removed") {
+		t.Fatalf("scc chart not on removal axis:\n%s", buf.String())
+	}
+}
+
+func TestAttackTable(t *testing.T) {
+	results := []*scenario.Result{fakeAttackResult("Attack/cutset", attack.Cutset)}
+	header, rows := AttackTable(results)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, header, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cutset", "Disconn", "50"} { // min hits 0 at t=50
+		if !strings.Contains(out, want) {
+			t.Fatalf("attack table missing %q:\n%s", want, out)
+		}
+	}
+	_, rows = AttackSnapshotRows(results[0])
+	if len(rows) != 5 {
+		t.Fatalf("snapshot rows = %d, want 5", len(rows))
+	}
+}
+
+func TestAttackTableRepsAndAggChart(t *testing.T) {
+	cfgs := []scenario.Config{fakeAttackResult("Attack/degree", attack.Degree).Config}
+	rs := &sweep.RunSet{
+		Config: cfgs[0],
+		Reps: []*scenario.Result{
+			fakeAttackResult("Attack/degree", attack.Degree),
+			fakeAttackResult("Attack/degree", attack.Degree),
+		},
+	}
+	// Build the aggregates the sweep engine would.
+	if err := rs.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+	header, rows := AttackTableReps([]*sweep.RunSet{rs})
+	if len(header) == 0 || len(rows) != 1 {
+		t.Fatalf("reps table: %d rows", len(rows))
+	}
+	var buf bytes.Buffer
+	if err := AggDegradationChart(&buf, "agg degradation", []*sweep.RunSet{rs}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "removed") {
+		t.Fatalf("agg chart not on removal axis:\n%s", buf.String())
+	}
+}

@@ -33,7 +33,9 @@ type chartLayer struct {
 
 // renderChart draws the layers onto a fixed-width grid: bands first (as
 // dots), then each layer's marks with its glyph, then axes and legend.
-func renderChart(w io.Writer, title string, layers []chartLayer, height int) error {
+// xUnit labels the right end of the x axis ("min" for time charts,
+// "removed" for attack-degradation charts).
+func renderChart(w io.Writer, title string, layers []chartLayer, height int, xUnit string) error {
 	if height <= 0 {
 		height = 16
 	}
@@ -105,7 +107,7 @@ func renderChart(w io.Writer, title string, layers []chartLayer, height int) err
 	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", chartWidth)); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "         %-8.0f%*s\n", minT, chartWidth-8, fmt.Sprintf("%.0f min", maxT)); err != nil {
+	if _, err := fmt.Fprintf(w, "         %-8.0f%*s\n", minT, chartWidth-8, fmt.Sprintf("%.0f %s", maxT, xUnit)); err != nil {
 		return err
 	}
 	for li, l := range layers {

@@ -140,5 +140,5 @@ func Chart(w io.Writer, title string, series []*stats.Series, height int) error 
 		}
 		layers[i] = l
 	}
-	return renderChart(w, title, layers, height)
+	return renderChart(w, title, layers, height, "min")
 }

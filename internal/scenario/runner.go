@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"kadre/internal/attack"
 	"kadre/internal/churn"
 	"kadre/internal/connectivity"
 	"kadre/internal/eventsim"
@@ -70,12 +71,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// The adversary shares the churn window, with strikes offset half an
+	// interval from the phase boundary (see Config.Attack). It is started
+	// only after the snapshots are scheduled, so at a shared instant the
+	// snapshot's event precedes the strike's: a snapshot at time t always
+	// observes exactly the strikes that fired strictly before t.
+	adversary, err := attack.NewEngine(sim, cfg.Attack, pop)
+	if err != nil {
+		return nil, err
+	}
+
 	// Connectivity snapshots: every SnapshotInterval, plus one at the very
 	// end of the run.
 	res := &Result{Config: cfg}
 	minAnalyzer, err := connectivity.NewAnalyzer(connectivity.Options{
 		SampleFraction: cfg.SampleFraction,
 		MinOnly:        true,
+		SkipMinPair:    true, // snapshots read only Min; skip the pair pass
 		Workers:        cfg.Workers,
 	})
 	if err != nil {
@@ -83,7 +95,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	snap := func() {
 		s := snapshot.Capture(sim.Now(), pop.nodes)
-		point := SnapshotStat{Time: sim.Now(), N: s.N(), Edges: s.Graph.M()}
+		point := SnapshotStat{
+			Time: sim.Now(), N: s.N(), Edges: s.Graph.M(),
+			SCC: s.Graph.LargestSCCFraction(), Removed: adversary.Removed(),
+		}
 		if s.N() > 1 {
 			point.Symmetry = s.Graph.SymmetryRatio()
 			point.Min = minAnalyzer.Analyze(s.Graph).Min
@@ -118,6 +133,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("scenario: schedule final snapshot: %w", err)
 	}
 
+	if cfg.Attack.Enabled() {
+		if err := adversary.Start(cfg.ChurnStart()+cfg.Attack.Interval/2, cfg.Total()); err != nil {
+			return nil, err
+		}
+	}
+
 	sim.RunUntil(cfg.Total())
 	if spawnErr != nil {
 		return nil, spawnErr
@@ -128,6 +149,8 @@ func Run(cfg Config) (*Result, error) {
 
 	res.ChurnAdded = churnGen.Added()
 	res.ChurnRemoved = churnGen.Removed()
+	res.AttackRemoved = adversary.Removed()
+	res.Victims = adversary.Victims()
 	if traff != nil {
 		res.TrafficOps = traff.Lookups() + traff.Stores()
 	}

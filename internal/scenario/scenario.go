@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"kadre/internal/attack"
 	"kadre/internal/churn"
 	"kadre/internal/eventsim"
 	"kadre/internal/kademlia"
@@ -47,6 +48,15 @@ type Config struct {
 	Loss simnet.LossLevel
 	// Churn is the add/remove rate applied during the churn phase.
 	Churn churn.Rate
+	// Attack configures an adversarial node-removal schedule running in
+	// the churn-phase window (zero value: no adversary). Strikes are
+	// offset half an attack interval from the phase boundary, so with
+	// the preset cadence (Interval == SnapshotInterval) they interleave
+	// the periodic snapshots; if a custom interval makes a strike and a
+	// snapshot share an instant, the snapshot runs first. Either way a
+	// snapshot at time t observes exactly the strikes that fired
+	// strictly before t.
+	Attack attack.Config
 	// Traffic toggles the 10-lookups + 1-dissemination per node per
 	// minute workload.
 	Traffic bool
@@ -91,8 +101,24 @@ func (c Config) withDefaults() Config {
 	if c.Loss == 0 {
 		c.Loss = simnet.LossNone
 	}
+	if c.Attack.Enabled() {
+		// The adversary's cutset analyzer inherits the run's sampling
+		// and worker budget unless configured explicitly.
+		if c.Attack.SampleFraction == 0 {
+			c.Attack.SampleFraction = c.SampleFraction
+		}
+		if c.Attack.Workers == 0 {
+			c.Attack.Workers = c.Workers
+		}
+		c.Attack = c.Attack.WithDefaults()
+	}
 	return c
 }
+
+// WithDefaults returns the config with zero fields replaced by the paper
+// defaults — the exact config a Run executes. Other packages (e.g. sweep
+// checkpointing) use it to reconstruct a run's effective configuration.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 // Validate checks a defaulted config.
 func (c Config) Validate() error {
@@ -107,6 +133,18 @@ func (c Config) Validate() error {
 	}
 	if !c.Churn.IsZero() && c.ChurnPhase == 0 {
 		return fmt.Errorf("scenario: churn rate %v with zero churn phase", c.Churn)
+	}
+	if c.Attack.Enabled() {
+		if c.ChurnPhase == 0 {
+			return fmt.Errorf("scenario: attack %v with zero churn phase", c.Attack)
+		}
+		if err := c.Attack.Validate(); err != nil {
+			return err
+		}
+		if !c.Attack.Target.IsZeroValue() && c.Attack.Target.Bits() != c.kademliaConfig().Bits {
+			return fmt.Errorf("scenario: attack target bit-length %d != network %d",
+				c.Attack.Target.Bits(), c.kademliaConfig().Bits)
+		}
 	}
 	return c.kademliaConfig().Validate()
 }
@@ -142,6 +180,8 @@ type SnapshotStat struct {
 	Symmetry float64 // fraction of edges with a reverse edge
 	Min      int     // minimum connectivity (smallest-out-degree sampled)
 	Avg      float64 // average pair connectivity (uniform sampled)
+	SCC      float64 // largest strongly-connected-component fraction
+	Removed  int     // cumulative adversarial removals at snapshot time
 }
 
 // Result is the outcome of one run.
@@ -151,8 +191,12 @@ type Result struct {
 	ChurnAdded   int
 	ChurnRemoved int
 	TrafficOps   int
-	Network      simnet.Stats
-	Elapsed      time.Duration // wall-clock cost of the run
+	// AttackRemoved counts nodes the adversary removed; Victims logs
+	// them in strike order (nil when no attack is configured).
+	AttackRemoved int
+	Victims       []attack.Victim
+	Network       simnet.Stats
+	Elapsed       time.Duration // wall-clock cost of the run
 }
 
 // MinSeries returns the minimum-connectivity time series.
@@ -173,11 +217,29 @@ func (r *Result) AvgSeries() *stats.Series {
 	return s
 }
 
+// SCCSeries returns the largest-SCC-fraction time series.
+func (r *Result) SCCSeries() *stats.Series {
+	s := &stats.Series{Name: r.Config.Name + "/scc"}
+	for _, p := range r.Points {
+		s.MustAdd(p.Time, p.SCC)
+	}
+	return s
+}
+
 // SizeSeries returns the live-network-size time series.
 func (r *Result) SizeSeries() *stats.Series {
 	s := &stats.Series{Name: r.Config.Name + "/size"}
 	for _, p := range r.Points {
 		s.MustAdd(p.Time, float64(p.N))
+	}
+	return s
+}
+
+// RemovedSeries returns the cumulative adversarial-removal time series.
+func (r *Result) RemovedSeries() *stats.Series {
+	s := &stats.Series{Name: r.Config.Name + "/removed"}
+	for _, p := range r.Points {
+		s.MustAdd(p.Time, float64(p.Removed))
 	}
 	return s
 }
@@ -201,6 +263,7 @@ type population struct {
 var (
 	_ churn.Population   = (*population)(nil)
 	_ traffic.Population = (*population)(nil)
+	_ attack.Population  = (*population)(nil)
 )
 
 // LiveNodes implements traffic.Population.
@@ -223,6 +286,25 @@ func (p *population) RemoveRandomNode() bool {
 	}
 	live[p.sim.Rand().Intn(len(live))].Leave()
 	return true
+}
+
+// AttackSnapshot implements attack.Population: the adversary's
+// reconnaissance is the same routing-table capture the measurement
+// snapshots use.
+func (p *population) AttackSnapshot() *snapshot.Snapshot {
+	return snapshot.Capture(p.sim.Now(), p.nodes)
+}
+
+// RemoveNode implements attack.Population: the live node at addr leaves
+// silently, exactly like a churn departure.
+func (p *population) RemoveNode(addr simnet.Addr) bool {
+	for _, n := range p.nodes {
+		if n.Addr() == addr && n.Running() {
+			n.Leave()
+			return true
+		}
+	}
+	return false
 }
 
 // AddNode implements churn.Population: a fresh node starts and joins via a

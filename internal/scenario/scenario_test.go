@@ -190,8 +190,8 @@ func TestScalePresets(t *testing.T) {
 	}
 	for _, s := range []Scale{PaperScale, ReducedScale, TinyScale} {
 		exps := s.Experiments(1)
-		if len(exps) != 15 {
-			t.Fatalf("scale %s has %d experiments, want 15", s.Name, len(exps))
+		if len(exps) != 16 {
+			t.Fatalf("scale %s has %d experiments, want 16", s.Name, len(exps))
 		}
 		seen := map[string]bool{}
 		for _, e := range exps {

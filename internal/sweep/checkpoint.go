@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"kadre/internal/attack"
+	"kadre/internal/id"
+	"kadre/internal/scenario"
+	"kadre/internal/simnet"
+)
+
+// Checkpointer persists every completed run as one JSON file and replays
+// those files on a later sweep, so a long replicated sweep interrupted
+// half-way resumes instead of restarting (the ROADMAP's "sweep resume").
+//
+// A checkpoint stores the run's full measurement surface — snapshot
+// points with exact nanosecond timestamps, churn/traffic/attack counters,
+// the victim log, and network statistics — so a resumed sweep produces
+// byte-identical CSV/JSON artefacts. Wall-clock Elapsed is deliberately
+// not restored (it is excluded from all deterministic outputs). Files are
+// keyed by run name, replication index, and derived seed, and carry a
+// fingerprint of the effective configuration: a checkpoint written under
+// a different configuration is ignored and the run re-executes.
+type Checkpointer struct {
+	dir string
+}
+
+// NewCheckpointer creates (if necessary) the checkpoint directory.
+func NewCheckpointer(dir string) (*Checkpointer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint dir: %w", err)
+	}
+	return &Checkpointer{dir: dir}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (c *Checkpointer) Dir() string { return c.dir }
+
+// ckptFile is the on-disk form of one completed run.
+type ckptFile struct {
+	Name        string `json:"name"`
+	Rep         int    `json:"rep"`
+	Seed        int64  `json:"seed"`
+	Fingerprint string `json:"fingerprint"`
+	Bits        int    `json:"bits"`
+
+	Points        []ckptPoint  `json:"points"`
+	ChurnAdded    int          `json:"churn_added"`
+	ChurnRemoved  int          `json:"churn_removed"`
+	TrafficOps    int          `json:"traffic_ops"`
+	AttackRemoved int          `json:"attack_removed"`
+	Victims       []ckptVictim `json:"victims,omitempty"`
+	Network       simnet.Stats `json:"network"`
+}
+
+// ckptPoint mirrors scenario.SnapshotStat with an exact timestamp (the
+// rendered JSON's t_min float would not round-trip Durations reliably).
+type ckptPoint struct {
+	TNS      int64   `json:"t_ns"`
+	N        int     `json:"n"`
+	Edges    int     `json:"edges"`
+	Min      int     `json:"min_conn"`
+	Avg      float64 `json:"avg_conn"`
+	Symmetry float64 `json:"symmetry"`
+	SCC      float64 `json:"scc_frac"`
+	Removed  int     `json:"removed"`
+}
+
+type ckptVictim struct {
+	TNS  int64  `json:"t_ns"`
+	Addr uint64 `json:"addr"`
+	ID   string `json:"id"`
+}
+
+// fingerprint condenses every configuration field that shapes a run's
+// measurements. Seed and Name are keyed separately; Log/OnSnapshot and
+// Workers only affect observation and scheduling, never results.
+func fingerprint(cfg scenario.Config) string {
+	// Attack.String() renders strategy/kills/interval/budget only, so the
+	// cutset analyzer's sampling fraction is keyed explicitly: it changes
+	// which cut the adversary finds, hence the victims and every curve.
+	// Workers is deliberately absent — results are worker-independent.
+	return fmt.Sprintf("size=%d|k=%d|a=%d|b=%d|s=%d|loss=%s|churn=%s|traffic=%v|wl=%+v|setup=%d|stab=%d|phase=%d|snap=%d|c=%g|attack=%s|ac=%g|target=%s",
+		cfg.Size, cfg.K, cfg.Alpha, cfg.Bits, cfg.Staleness,
+		cfg.Loss, cfg.Churn, cfg.Traffic, cfg.Workload,
+		cfg.Setup, cfg.Stabilize, cfg.ChurnPhase, cfg.SnapshotInterval,
+		cfg.SampleFraction, cfg.Attack, cfg.Attack.SampleFraction, cfg.Attack.Target)
+}
+
+// sanitize flattens a run name into a safe file-name fragment.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+func (c *Checkpointer) path(cfg scenario.Config, rep int) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%s_r%d_s%d.ckpt.json", sanitize(cfg.Name), rep, cfg.Seed))
+}
+
+// Store persists one completed run. cfg must be the job's config (its
+// Seed already derived for the replication).
+func (c *Checkpointer) Store(cfg scenario.Config, rep int, r *scenario.Result) error {
+	eff := cfg.WithDefaults()
+	out := ckptFile{
+		Name: cfg.Name, Rep: rep, Seed: eff.Seed, Fingerprint: fingerprint(eff),
+		Bits:       r.Config.Bits,
+		ChurnAdded: r.ChurnAdded, ChurnRemoved: r.ChurnRemoved,
+		TrafficOps: r.TrafficOps, AttackRemoved: r.AttackRemoved,
+		Network: r.Network,
+	}
+	for _, p := range r.Points {
+		out.Points = append(out.Points, ckptPoint{
+			TNS: int64(p.Time), N: p.N, Edges: p.Edges, Min: p.Min,
+			Avg: p.Avg, Symmetry: p.Symmetry, SCC: p.SCC, Removed: p.Removed,
+		})
+	}
+	for _, v := range r.Victims {
+		out.Victims = append(out.Victims, ckptVictim{
+			TNS: int64(v.Time), Addr: uint64(v.Addr), ID: v.ID.String(),
+		})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint %s rep %d: %w", cfg.Name, rep, err)
+	}
+	// Write-then-rename so a crash mid-write leaves no half checkpoint
+	// that a resume would have to distrust.
+	tmp := c.path(cfg, rep) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("sweep: checkpoint %s rep %d: %w", cfg.Name, rep, err)
+	}
+	if err := os.Rename(tmp, c.path(cfg, rep)); err != nil {
+		return fmt.Errorf("sweep: checkpoint %s rep %d: %w", cfg.Name, rep, err)
+	}
+	return nil
+}
+
+// Load reconstructs a previously stored run. It reports false — never an
+// error — when no usable checkpoint exists (missing, unreadable, or
+// written under a different configuration); the sweep then simply
+// re-executes the run.
+func (c *Checkpointer) Load(cfg scenario.Config, rep int) (*scenario.Result, bool) {
+	data, err := os.ReadFile(c.path(cfg, rep))
+	if err != nil {
+		return nil, false
+	}
+	var in ckptFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, false
+	}
+	eff := cfg.WithDefaults()
+	if in.Name != cfg.Name || in.Rep != rep || in.Seed != eff.Seed || in.Fingerprint != fingerprint(eff) {
+		return nil, false
+	}
+	res := &scenario.Result{
+		Config:     eff,
+		ChurnAdded: in.ChurnAdded, ChurnRemoved: in.ChurnRemoved,
+		TrafficOps: in.TrafficOps, AttackRemoved: in.AttackRemoved,
+		Network: in.Network,
+	}
+	for _, p := range in.Points {
+		res.Points = append(res.Points, scenario.SnapshotStat{
+			Time: time.Duration(p.TNS), N: p.N, Edges: p.Edges, Min: p.Min,
+			Avg: p.Avg, Symmetry: p.Symmetry, SCC: p.SCC, Removed: p.Removed,
+		})
+	}
+	bits := in.Bits
+	if bits == 0 {
+		bits = id.DefaultBits
+	}
+	for _, v := range in.Victims {
+		parsed, err := id.Parse(bits, v.ID)
+		if err != nil {
+			return nil, false
+		}
+		res.Victims = append(res.Victims, attack.Victim{
+			Time: time.Duration(v.TNS), Addr: simnet.Addr(v.Addr), ID: parsed,
+		})
+	}
+	return res, true
+}

@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"kadre/internal/attack"
+	"kadre/internal/scenario"
+)
+
+// ckptConfigs is a small sweep mixing a plain run and an attacked run, so
+// resume is exercised over every checkpointed field (points, victims,
+// counters).
+func ckptConfigs() []scenario.Config {
+	base := scenario.Config{
+		Name: "ckpt/plain", Seed: 3, Size: 16, K: 8,
+		Setup: 4 * time.Minute, Stabilize: 6 * time.Minute,
+		SnapshotInterval: 5 * time.Minute, SampleFraction: 0.2,
+	}
+	attacked := base
+	attacked.Name = "ckpt/attacked"
+	attacked.ChurnPhase = 10 * time.Minute
+	attacked.Attack = attack.Config{
+		Strategy: attack.Degree, Budget: 4, Kills: 2, Interval: 5 * time.Minute,
+	}
+	return []scenario.Config{base, attacked}
+}
+
+// stripElapsed zeroes the wall-clock field so replayed and fresh results
+// compare equal on the deterministic measurement surface.
+func stripElapsed(sets []*RunSet) {
+	for _, rs := range sets {
+		for _, r := range rs.Reps {
+			r.Elapsed = 0
+		}
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, err := NewCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var freshEvents, cachedEvents int
+	opts := Options{Reps: 2, Jobs: 2, Checkpoint: ckpt, Progress: func(ev Event) {
+		if ev.Cached {
+			cachedEvents++
+		} else {
+			freshEvents++
+		}
+	}}
+	first, err := Run(ckptConfigs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshEvents != 4 || cachedEvents != 0 {
+		t.Fatalf("first sweep: %d fresh / %d cached events, want 4/0", freshEvents, cachedEvents)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.ckpt.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Fatalf("got %d checkpoint files, want 4 (2 configs x 2 reps)", len(files))
+	}
+
+	// Second sweep: everything replays from disk and matches byte for byte.
+	freshEvents, cachedEvents = 0, 0
+	second, err := Run(ckptConfigs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshEvents != 0 || cachedEvents != 4 {
+		t.Fatalf("resumed sweep: %d fresh / %d cached events, want 0/4", freshEvents, cachedEvents)
+	}
+	stripElapsed(first)
+	stripElapsed(second)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("resumed sweep differs from the original")
+	}
+
+	// A missing checkpoint re-runs just that job.
+	if err := os.Remove(files[0]); err != nil {
+		t.Fatal(err)
+	}
+	freshEvents, cachedEvents = 0, 0
+	third, err := Run(ckptConfigs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshEvents != 1 || cachedEvents != 3 {
+		t.Fatalf("partial resume: %d fresh / %d cached events, want 1/3", freshEvents, cachedEvents)
+	}
+	stripElapsed(third)
+	if !reflect.DeepEqual(first, third) {
+		t.Fatal("partially resumed sweep differs from the original")
+	}
+}
+
+func TestCheckpointIgnoresStaleConfig(t *testing.T) {
+	ckpt, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := ckptConfigs()
+	if _, err := Run(cfgs, Options{Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	countFresh := func(cfgs []scenario.Config) int {
+		fresh := 0
+		if _, err := Run(cfgs, Options{Checkpoint: ckpt, Progress: func(ev Event) {
+			if !ev.Cached {
+				fresh++
+			}
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		return fresh
+	}
+
+	// Changing only the adversary's analyzer sampling must invalidate the
+	// attacked run's checkpoint (it changes the cut, hence the victims) —
+	// and nothing else.
+	cfgs = ckptConfigs()
+	cfgs[1].Attack.SampleFraction = 1.0
+	if fresh := countFresh(cfgs); fresh != 1 {
+		t.Fatalf("%d fresh runs after attack sampling change, want 1 (the attacked config)", fresh)
+	}
+
+	// Same names and seeds, different k: no fingerprint may match.
+	cfgs = ckptConfigs()
+	for i := range cfgs {
+		cfgs[i].K = 4
+	}
+	if fresh := countFresh(cfgs); fresh != len(cfgs) {
+		t.Fatalf("%d fresh runs after config change, want %d", fresh, len(cfgs))
+	}
+}
+
+func TestCheckpointIgnoresCorruptFile(t *testing.T) {
+	ckpt, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := ckptConfigs()[:1]
+	if _, err := Run(cfgs, Options{Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(ckpt.Dir(), "*.ckpt.json"))
+	if len(files) != 1 {
+		t.Fatalf("got %d files, want 1", len(files))
+	}
+	if err := os.WriteFile(files[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := 0
+	if _, err := Run(cfgs, Options{Checkpoint: ckpt, Progress: func(ev Event) {
+		if !ev.Cached {
+			fresh++
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 1 {
+		t.Fatalf("corrupt checkpoint not re-run (fresh=%d)", fresh)
+	}
+}

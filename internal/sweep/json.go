@@ -37,6 +37,8 @@ type JSONRun struct {
 	Churn     string `json:"churn"`
 	Loss      string `json:"loss"`
 	Traffic   bool   `json:"traffic"`
+	// Attack describes the adversary ("" when the run has none).
+	Attack string `json:"attack,omitempty"`
 
 	Reps      []JSONRep     `json:"reps"`
 	Aggregate JSONAggregate `json:"aggregate"`
@@ -44,13 +46,22 @@ type JSONRun struct {
 
 // JSONRep is the raw outcome of one seeded replication.
 type JSONRep struct {
-	Seed         int64       `json:"seed"`
-	Points       []JSONPoint `json:"points"`
-	ChurnAdded   int         `json:"churn_added"`
-	ChurnRemoved int         `json:"churn_removed"`
-	TrafficOps   int         `json:"traffic_ops"`
-	MsgSent      uint64      `json:"msg_sent"`
-	MsgLost      uint64      `json:"msg_lost"`
+	Seed          int64        `json:"seed"`
+	Points        []JSONPoint  `json:"points"`
+	ChurnAdded    int          `json:"churn_added"`
+	ChurnRemoved  int          `json:"churn_removed"`
+	TrafficOps    int          `json:"traffic_ops"`
+	AttackRemoved int          `json:"attack_removed,omitempty"`
+	Victims       []JSONVictim `json:"victims,omitempty"`
+	MsgSent       uint64       `json:"msg_sent"`
+	MsgLost       uint64       `json:"msg_lost"`
+}
+
+// JSONVictim is one adversarial removal.
+type JSONVictim struct {
+	TMin float64 `json:"t_min"`
+	Addr uint64  `json:"addr"`
+	ID   string  `json:"id"`
 }
 
 // JSONPoint is one snapshot of one replication.
@@ -61,6 +72,8 @@ type JSONPoint struct {
 	Min      int     `json:"min_conn"`
 	Avg      float64 `json:"avg_conn"`
 	Symmetry float64 `json:"symmetry"`
+	SCCFrac  float64 `json:"scc_frac"`
+	Removed  int     `json:"removed,omitempty"`
 }
 
 // JSONAggregate carries the cross-rep curves and the churn-window summary.
@@ -68,6 +81,8 @@ type JSONAggregate struct {
 	Min         []JSONAggPoint `json:"min_conn"`
 	Avg         []JSONAggPoint `json:"avg_conn"`
 	Size        []JSONAggPoint `json:"size"`
+	SCC         []JSONAggPoint `json:"scc_frac"`
+	Removed     []JSONAggPoint `json:"removed,omitempty"`
 	ChurnWindow JSONChurnStat  `json:"churn_window"`
 }
 
@@ -128,26 +143,38 @@ func BuildJSON(meta JSONMeta, sets []*RunSet) *JSONFile {
 		if file.Reps == 0 {
 			file.Reps = len(rs.Reps)
 		}
-		cfg := rs.Config
+		// Render the effective configuration (zero loss reads "none", not
+		// "LossLevel(0)"); the seed is already the derived rep-0 seed.
+		cfg := rs.Config.WithDefaults()
 		run := JSONRun{
 			Name: cfg.Name, BaseSeed: cfg.Seed, Size: cfg.Size,
 			K: cfg.K, Alpha: cfg.Alpha, Bits: cfg.Bits, Staleness: cfg.Staleness,
 			Churn: cfg.Churn.String(), Loss: cfg.Loss.String(), Traffic: cfg.Traffic,
 		}
+		if cfg.Attack.Enabled() {
+			run.Attack = cfg.Attack.String()
+		}
 		for _, r := range rs.Reps {
 			rep := JSONRep{
-				Seed:         r.Config.Seed,
-				ChurnAdded:   r.ChurnAdded,
-				ChurnRemoved: r.ChurnRemoved,
-				TrafficOps:   r.TrafficOps,
-				MsgSent:      r.Network.Sent,
-				MsgLost:      r.Network.Lost,
-				Points:       make([]JSONPoint, 0, len(r.Points)),
+				Seed:          r.Config.Seed,
+				ChurnAdded:    r.ChurnAdded,
+				ChurnRemoved:  r.ChurnRemoved,
+				TrafficOps:    r.TrafficOps,
+				AttackRemoved: r.AttackRemoved,
+				MsgSent:       r.Network.Sent,
+				MsgLost:       r.Network.Lost,
+				Points:        make([]JSONPoint, 0, len(r.Points)),
+			}
+			for _, v := range r.Victims {
+				rep.Victims = append(rep.Victims, JSONVictim{
+					TMin: v.Time.Minutes(), Addr: uint64(v.Addr), ID: v.ID.String(),
+				})
 			}
 			for _, p := range r.Points {
 				rep.Points = append(rep.Points, JSONPoint{
 					TMin: p.Time.Minutes(), N: p.N, Edges: p.Edges,
 					Min: p.Min, Avg: p.Avg, Symmetry: p.Symmetry,
+					SCCFrac: p.SCC, Removed: p.Removed,
 				})
 			}
 			run.Reps = append(run.Reps, rep)
@@ -161,11 +188,15 @@ func BuildJSON(meta JSONMeta, sets []*RunSet) *JSONFile {
 			Min:  aggPoints(rs.Min),
 			Avg:  aggPoints(rs.Avg),
 			Size: aggPoints(rs.Size),
+			SCC:  aggPoints(rs.SCC),
 			ChurnWindow: JSONChurnStat{
 				Means: jsonMeans,
 				Mean:  finiteOrNil(stats.Mean(means)),
 				CI95:  finiteOrNil(stats.CI95Half(means)),
 			},
+		}
+		if cfg.Attack.Enabled() {
+			run.Aggregate.Removed = aggPoints(rs.Removed)
 		}
 		file.Runs = append(file.Runs, run)
 	}

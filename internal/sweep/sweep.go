@@ -35,6 +35,10 @@ type Options struct {
 	// delivered serially (never concurrently) but in completion order,
 	// which depends on scheduling; the Done counter is monotonic.
 	Progress func(Event)
+	// Checkpoint, when set, persists every completed run to disk and
+	// replays already-completed runs instead of re-executing them, so an
+	// interrupted sweep resumes where it stopped.
+	Checkpoint *Checkpointer
 }
 
 // Event reports one completed (or failed) run to the Progress callback.
@@ -45,6 +49,7 @@ type Event struct {
 	Done    int           // completed runs so far, including this one
 	Total   int           // total runs in the sweep
 	Elapsed time.Duration // wall-clock cost of this run
+	Cached  bool          // run was replayed from a checkpoint
 	Err     error         // non-nil if the run failed
 }
 
@@ -57,6 +62,9 @@ type RunSet struct {
 	// Min, Avg and Size are the cross-replication aggregates of the
 	// minimum-connectivity, average-connectivity and live-size curves.
 	Min, Avg, Size *stats.AggregateSeries
+	// SCC and Removed aggregate the largest-SCC-fraction and cumulative
+	// adversarial-removal curves (Removed is all zeros without an attack).
+	SCC, Removed *stats.AggregateSeries
 }
 
 // ChurnWindowMeans returns each replication's mean minimum connectivity
@@ -122,7 +130,18 @@ func Run(cfgs []scenario.Config, opts Options) ([]*RunSet, error) {
 
 	progress := newProgressGate(opts.Progress, len(jobs))
 	results, err := par.Map(opts.Jobs, jobs, func(i int, j job) (*scenario.Result, error) {
+		if opts.Checkpoint != nil {
+			if res, ok := opts.Checkpoint.Load(j.cfg, j.rep); ok {
+				progress.emit(Event{
+					Name: j.cfg.Name, Rep: j.rep, Seed: j.cfg.Seed, Cached: true,
+				})
+				return res, nil
+			}
+		}
 		res, rerr := scenario.Run(j.cfg)
+		if rerr == nil && opts.Checkpoint != nil {
+			rerr = opts.Checkpoint.Store(j.cfg, j.rep, res)
+		}
 		var elapsed time.Duration
 		if res != nil {
 			elapsed = res.Elapsed
@@ -152,20 +171,36 @@ func Run(cfgs []scenario.Config, opts Options) ([]*RunSet, error) {
 	return sets, nil
 }
 
+// Aggregate (re)builds the cross-replication aggregate series from Reps.
+// Run calls it automatically; it is exported for callers assembling
+// RunSets from externally produced results (e.g. replayed checkpoints or
+// fabricated fixtures).
+func (rs *RunSet) Aggregate() error { return rs.aggregate() }
+
 func (rs *RunSet) aggregate() error {
 	mins := make([]*stats.Series, len(rs.Reps))
 	avgs := make([]*stats.Series, len(rs.Reps))
 	sizes := make([]*stats.Series, len(rs.Reps))
+	sccs := make([]*stats.Series, len(rs.Reps))
+	removed := make([]*stats.Series, len(rs.Reps))
 	for i, r := range rs.Reps {
 		mins[i] = r.MinSeries()
 		avgs[i] = r.AvgSeries()
 		sizes[i] = r.SizeSeries()
+		sccs[i] = r.SCCSeries()
+		removed[i] = r.RemovedSeries()
 	}
 	var err error
 	if rs.Min, err = stats.AggregateAligned(rs.Config.Name+"/min", mins); err != nil {
 		return err
 	}
 	if rs.Avg, err = stats.AggregateAligned(rs.Config.Name+"/avg", avgs); err != nil {
+		return err
+	}
+	if rs.SCC, err = stats.AggregateAligned(rs.Config.Name+"/scc", sccs); err != nil {
+		return err
+	}
+	if rs.Removed, err = stats.AggregateAligned(rs.Config.Name+"/removed", removed); err != nil {
 		return err
 	}
 	rs.Size, err = stats.AggregateAligned(rs.Config.Name+"/size", sizes)

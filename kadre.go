@@ -25,6 +25,7 @@ package kadre
 import (
 	"time"
 
+	"kadre/internal/attack"
 	"kadre/internal/churn"
 	"kadre/internal/connectivity"
 	"kadre/internal/eventsim"
@@ -208,6 +209,41 @@ var (
 	Churn1_1   = churn.Rate1_1
 	Churn10_10 = churn.Rate10_10
 )
+
+// Adversarial node removal (the attack engine extending the paper's
+// random churn to targeted strategies).
+type (
+	// AttackConfig describes one adversary: strategy, budget, strike
+	// interval, and the eclipse target. Set ScenarioConfig.Attack to run
+	// it during the churn-phase window.
+	AttackConfig = attack.Config
+	// AttackStrategy names a victim-selection policy.
+	AttackStrategy = attack.Strategy
+	// AttackVictim records one adversarial removal.
+	AttackVictim = attack.Victim
+)
+
+// The built-in attack strategies.
+const (
+	AttackRandom  = attack.Random
+	AttackDegree  = attack.Degree
+	AttackCutset  = attack.Cutset
+	AttackEclipse = attack.Eclipse
+)
+
+// AttackStrategies returns every built-in strategy in canonical order.
+func AttackStrategies() []AttackStrategy { return attack.Strategies() }
+
+// ParseAttackStrategies reads a comma-separated strategy list.
+func ParseAttackStrategies(csv string) ([]AttackStrategy, error) {
+	return attack.ParseStrategies(csv)
+}
+
+// AttackExperiment builds the strategy-comparison experiment at a scale:
+// one attacked run per strategy, sharing one seed.
+func AttackExperiment(s Scale, seed int64, strategies []AttackStrategy) Experiment {
+	return s.AttackExperiment(seed, strategies)
+}
 
 // Built-in experiment scales.
 var (

@@ -97,7 +97,7 @@ func TestFacadeScales(t *testing.T) {
 	if s.Name != TinyScale.Name {
 		t.Fatal("scale mismatch")
 	}
-	if len(s.Experiments(1)) != 15 {
+	if len(s.Experiments(1)) != 16 {
 		t.Fatal("experiment registry incomplete")
 	}
 	if PaperScale.Small != 250 || PaperScale.Large != 2500 {
@@ -122,5 +122,34 @@ func TestFacadeChurnRates(t *testing.T) {
 	}
 	if LossHigh.TwoWayLoss() < 0.49 || LossHigh.TwoWayLoss() > 0.51 {
 		t.Fatal("Table 1 high loss wrong")
+	}
+}
+
+func TestFacadeAttack(t *testing.T) {
+	if got := AttackStrategies(); len(got) != 4 || got[0] != AttackRandom || got[3] != AttackEclipse {
+		t.Fatalf("strategy registry wrong: %v", got)
+	}
+	if _, err := ParseAttackStrategies("degree,borg"); err == nil {
+		t.Fatal("unknown strategy should fail to parse")
+	}
+	cfg := ScenarioConfig{
+		Name: "facade-attack", Seed: 1, Size: 16, K: 5, Staleness: 1,
+		Setup: 4 * time.Minute, Stabilize: 6 * time.Minute,
+		ChurnPhase: 10 * time.Minute, SnapshotInterval: 5 * time.Minute,
+		SampleFraction: 0.2,
+		Attack: AttackConfig{
+			Strategy: AttackDegree, Budget: 4, Kills: 2, Interval: 5 * time.Minute,
+		},
+	}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackRemoved != 4 || len(res.Victims) != 4 {
+		t.Fatalf("adversary removed %d (%d victims), want 4", res.AttackRemoved, len(res.Victims))
+	}
+	exp := AttackExperiment(TinyScale, 1, []AttackStrategy{AttackRandom, AttackCutset})
+	if len(exp.Configs) != 2 || !exp.Configs[1].Attack.Enabled() {
+		t.Fatalf("attack experiment malformed: %+v", exp.Configs)
 	}
 }
