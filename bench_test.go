@@ -275,33 +275,40 @@ func benchGraph(n, deg int, seed int64) *graph.Digraph {
 	return g
 }
 
-// BenchmarkMaxflowAlgorithms compares Dinic against HIPR-style
-// push-relabel on Even-transformed unit-capacity graphs — the pipeline's
-// exact workload.
-func BenchmarkMaxflowAlgorithms(b *testing.B) {
-	g := benchGraph(400, 20, 7)
-	edges := graph.EvenEdges(g)
-	medges := make([]maxflow.Edge, len(edges))
-	for i, e := range edges {
-		medges[i] = maxflow.Edge{U: e.U, V: e.V, Cap: 1}
-	}
-	queries := [][2]int{}
-	r := rand.New(rand.NewSource(8))
-	for len(queries) < 64 {
-		v, w := r.Intn(g.N()), r.Intn(g.N())
-		if v != w && !g.HasEdge(v, w) {
-			queries = append(queries, [2]int{graph.Out(v), graph.In(w)})
+// maxflowAlgoBench returns the benchmark body for one algorithm on an
+// Even-transformed unit-capacity graph — the pipeline's exact workload.
+// The body is a plain func so the bench-trajectory writer (see
+// benchjson_test.go) can run it through testing.Benchmark.
+func maxflowAlgoBench(algo maxflow.Algorithm) func(*testing.B) {
+	return func(b *testing.B) {
+		g := benchGraph(400, 20, 7)
+		edges := graph.EvenEdges(g)
+		medges := make([]maxflow.Edge, len(edges))
+		for i, e := range edges {
+			medges[i] = maxflow.Edge{U: e.U, V: e.V, Cap: 1}
+		}
+		queries := [][2]int{}
+		r := rand.New(rand.NewSource(8))
+		for len(queries) < 64 {
+			v, w := r.Intn(g.N()), r.Intn(g.N())
+			if v != w && !g.HasEdge(v, w) {
+				queries = append(queries, [2]int{graph.Out(v), graph.In(w)})
+			}
+		}
+		solver := algo.NewSolver(2*g.N(), medges)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			solver.MaxFlow(q[0], q[1])
 		}
 	}
+}
+
+// BenchmarkMaxflowAlgorithms compares Dinic against HIPR-style
+// push-relabel on the pipeline's workload.
+func BenchmarkMaxflowAlgorithms(b *testing.B) {
 	for _, algo := range []maxflow.Algorithm{maxflow.Dinic, maxflow.PushRelabel} {
-		b.Run(algo.String(), func(b *testing.B) {
-			solver := algo.NewSolver(2*g.N(), medges)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				q := queries[i%len(queries)]
-				solver.MaxFlow(q[0], q[1])
-			}
-		})
+		b.Run(algo.String(), maxflowAlgoBench(algo))
 	}
 }
 
@@ -382,13 +389,32 @@ func BenchmarkEvenTransform(b *testing.B) {
 
 // BenchmarkSnapshotAnalysis times one full snapshot analysis (capture
 // excluded) at the small paper size, the unit of work the paper fanned
-// out to its cluster.
+// out to its cluster. The analyzer is engine-backed, so iterations after
+// the first reuse the solver pool and Even-transform buffers — the
+// steady state of the per-snapshot hot path.
 func BenchmarkSnapshotAnalysis(b *testing.B) {
 	g := benchGraph(250, 20, 12)
 	a := connectivity.MustNewAnalyzer(connectivity.Options{SampleFraction: 0.02, MinOnly: true})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Analyze(g)
+	}
+}
+
+// BenchmarkSnapshotAnalysisFused times the runner's actual per-snapshot
+// unit of work since the fused engine sweep: Min (pruned,
+// smallest-out-degree) and Avg (exact, seeded uniform) in one pass over
+// one solver pool. Compare against BenchmarkSnapshotAnalysis plus a
+// separate exact sweep to see what fusing saves.
+func BenchmarkSnapshotAnalysisFused(b *testing.B) {
+	g := benchGraph(250, 20, 12)
+	eng := connectivity.MustNewEngine(connectivity.EngineOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Bind(g)
+		eng.AnalyzeSnapshot(connectivity.SnapshotQuery{SampleFraction: 0.02, AvgSeed: int64(i)})
 	}
 }
 

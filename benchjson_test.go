@@ -1,0 +1,102 @@
+package kadre
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"kadre/internal/maxflow"
+	"kadre/internal/scenario"
+)
+
+// benchJSONOut enables the bench-trajectory mode: when set,
+// TestBenchTrajectory runs the core benchmarks and writes their results
+// as JSON. The value is either a directory (the file is named
+// BENCH_<date>.json inside it) or an explicit .json path.
+//
+//	go test -run TestBenchTrajectory -benchtime 1x . -args -benchjson .
+//
+// CI runs this at -benchtime=1x as a smoke test; developers seeding a
+// trajectory point should use the default benchtime for stable numbers
+// and commit the resulting BENCH_<date>.json.
+var benchJSONOut = flag.String("benchjson", "", "write bench-trajectory JSON to this directory or .json path")
+
+// benchTrajectoryEntry is one benchmark's measurement in the trajectory
+// file. Only rate quantities are recorded — iteration counts depend on
+// benchtime and are reported for context, not comparison.
+type benchTrajectoryEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchTrajectoryFile is the BENCH_<date>.json document.
+type benchTrajectoryFile struct {
+	Date       string                 `json:"date"`
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Scale      string                 `json:"scale"`
+	Benchmarks []benchTrajectoryEntry `json:"benchmarks"`
+}
+
+// TestBenchTrajectory seeds the performance trajectory: it runs the
+// snapshot-analysis benchmarks, both max-flow algorithm benchmarks, and
+// one figure regeneration at tiny scale, then writes ns/op and allocs/op
+// to BENCH_<date>.json. Skipped unless -benchjson is set, so the regular
+// test suite stays benchmark-free.
+func TestBenchTrajectory(t *testing.T) {
+	if *benchJSONOut == "" {
+		t.Skip("bench trajectory disabled; pass -args -benchjson <dir|file.json> to enable")
+	}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"SnapshotAnalysis", BenchmarkSnapshotAnalysis},
+		{"SnapshotAnalysisFused", BenchmarkSnapshotAnalysisFused},
+		{"MaxflowAlgorithms/dinic", maxflowAlgoBench(maxflow.Dinic)},
+		{"MaxflowAlgorithms/push-relabel", maxflowAlgoBench(maxflow.PushRelabel)},
+		{"Figure2SimA", func(b *testing.B) { benchFigure(b, scenario.Scale.Figure2) }},
+	}
+	doc := benchTrajectoryFile{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      "tiny",
+	}
+	for _, bench := range benches {
+		res := testing.Benchmark(bench.fn)
+		if res.N == 0 {
+			t.Fatalf("benchmark %s did not run (failed inside testing.Benchmark?)", bench.name)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, benchTrajectoryEntry{
+			Name:        bench.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		})
+		t.Logf("%s: %.0f ns/op, %d allocs/op (%d iterations)",
+			bench.name, float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp(), res.N)
+	}
+
+	path := *benchJSONOut
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		path = filepath.Join(path, fmt.Sprintf("BENCH_%s.json", doc.Date))
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -7,7 +7,11 @@
 // experiment's configurations — times the replication count — fan out
 // across -jobs workers. Every run is deterministic in its seed and the
 // engine reassembles results in input order, so the output is identical
-// for any -jobs value; only wall-clock time changes.
+// for any -jobs value; only wall-clock time changes. With -exp all,
+// every experiment's runs share ONE worker pool (sweep.RunGroups):
+// progress lines carry an experiment prefix and rendering happens per
+// experiment after the pooled sweep drains, so cores stay busy through
+// each experiment's tail instead of idling at every boundary.
 //
 // Replication (-reps R) repeats every configuration R times with derived
 // seeds, matching the paper's repeated-run methodology: rep 0 uses the
@@ -181,22 +185,38 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 	}
-
-	for _, eid := range ids {
-		if err := runExperiment(eid, opts); err != nil {
-			return err
-		}
-	}
-	return nil
+	return runExperiments(ids, opts)
 }
 
-func runExperiment(expID string, opts options) error {
-	exp, err := opts.scale.ExperimentByID(expID, opts.seed)
-	if err != nil {
-		return err
+// runExperiments sweeps the given experiments through ONE shared worker
+// pool (sweep.RunGroups): with -exp all, runs from the next experiment
+// backfill idle workers while the previous experiment's stragglers
+// finish, instead of draining the pool at every experiment boundary.
+// Rendering and artefact writing happen per experiment, in input order,
+// after all runs complete.
+func runExperiments(ids []string, opts options) error {
+	exps := make([]scenario.Experiment, len(ids))
+	groups := make([]sweep.Group, len(ids))
+	totalConfigs := 0
+	for i, eid := range ids {
+		exp, err := opts.scale.ExperimentByID(eid, opts.seed)
+		if err != nil {
+			return err
+		}
+		exps[i] = exp
+		groups[i] = sweep.Group{Name: exp.ID, Configs: exp.Configs}
+		totalConfigs += len(exp.Configs)
 	}
-	fmt.Fprintf(opts.stdout, "=== %s: %s (scale %s, %d configs x %d reps, jobs %d) ===\n",
-		exp.ID, exp.Title, opts.scale.Name, len(exp.Configs), opts.reps, opts.jobs)
+
+	pooled := len(exps) > 1
+	if pooled {
+		fmt.Fprintf(opts.stdout, "=== pooled sweep: %d experiments, %d configs x %d reps (scale %s, jobs %d) ===\n",
+			len(exps), totalConfigs, opts.reps, opts.scale.Name, opts.jobs)
+	} else {
+		exp := exps[0]
+		fmt.Fprintf(opts.stdout, "=== %s: %s (scale %s, %d configs x %d reps, jobs %d) ===\n",
+			exp.ID, exp.Title, opts.scale.Name, len(exp.Configs), opts.reps, opts.jobs)
+	}
 	start := time.Now()
 
 	swOpts := sweep.Options{Reps: opts.reps, Jobs: opts.jobs, Checkpoint: opts.ckpt}
@@ -209,30 +229,57 @@ func runExperiment(expID string, opts options) error {
 			if ev.Err != nil {
 				status = "FAILED: " + ev.Err.Error()
 			}
+			name := ev.Name
+			if pooled {
+				name = ev.Experiment + "/" + name
+			}
 			fmt.Fprintf(opts.stdout, "  [%d/%d] %s rep %d seed %d (%s)\n",
-				ev.Done, ev.Total, ev.Name, ev.Rep, ev.Seed, status)
+				ev.Done, ev.Total, name, ev.Rep, ev.Seed, status)
 		}
 	}
-	sets, err := sweep.RunExperiment(exp, swOpts)
-	if err != nil {
-		return err
+	// On failure RunGroups still hands back every experiment whose runs
+	// all completed; render and persist those before reporting the error,
+	// so a pooled -exp all sweep does not discard hours of finished work.
+	allSets, runErr := sweep.RunGroups(groups, swOpts)
+	finished := fmt.Sprintf("%d experiments", len(exps))
+	if !pooled {
+		finished = exps[0].ID
+	}
+	if runErr != nil {
+		fmt.Fprintf(opts.stdout, "--- %s FAILED after %v; writing completed experiments ---\n\n",
+			finished, time.Since(start).Round(time.Second))
+	} else {
+		fmt.Fprintf(opts.stdout, "--- %s finished in %v ---\n\n", finished, time.Since(start).Round(time.Second))
 	}
 
-	if opts.csvDir != "" {
-		for _, rs := range sets {
-			if err := writeCSVSet(opts.csvDir, rs); err != nil {
+	for i, exp := range exps {
+		sets := allSets[i]
+		if sets == nil {
+			continue // incomplete: some run failed or was skipped
+		}
+		if opts.csvDir != "" {
+			for _, rs := range sets {
+				if err := writeCSVSet(opts.csvDir, rs); err != nil {
+					return err
+				}
+			}
+		}
+		if opts.jsonDir != "" {
+			if err := writeJSONFile(opts.jsonDir, exp, opts, sets); err != nil {
 				return err
 			}
 		}
-	}
-	if opts.jsonDir != "" {
-		if err := writeJSONFile(opts.jsonDir, exp, opts, sets); err != nil {
+		if pooled {
+			fmt.Fprintf(opts.stdout, "=== %s: %s ===\n", exp.ID, exp.Title)
+		}
+		if err := render(opts.stdout, exp, opts.reps, sets); err != nil {
 			return err
 		}
+		if pooled {
+			fmt.Fprintln(opts.stdout)
+		}
 	}
-
-	fmt.Fprintf(opts.stdout, "--- %s finished in %v ---\n\n", exp.ID, time.Since(start).Round(time.Second))
-	return render(opts.stdout, exp, opts.reps, sets)
+	return runErr
 }
 
 func render(w io.Writer, exp scenario.Experiment, reps int, sets []*sweep.RunSet) error {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"kadre/internal/scenario"
 	"kadre/internal/sweep"
 )
 
@@ -230,5 +231,41 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "figure2", "-jobs", "-2"}, discard); err == nil {
 		t.Error("negative -jobs should fail")
+	}
+}
+
+// TestRunPooledExperiments exercises the -exp all machinery through the
+// shared worker pool on two cheap experiments: one pooled sweep banner,
+// experiment-prefixed progress lines, and both experiments rendered in
+// order afterwards. (-exp all itself routes through the same
+// runExperiments call with the full catalogue.)
+func TestRunPooledExperiments(t *testing.T) {
+	scale, err := scenario.ScaleByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	opts := options{scale: scale, seed: 1, reps: 1, jobs: 4, stdout: &buf}
+	if err := runExperiments([]string{"figure2", "figure3"}, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== pooled sweep: 2 experiments") {
+		t.Fatalf("missing pooled banner:\n%.600s", out)
+	}
+	// Progress lines carry the experiment prefix so interleaved runs
+	// stay attributable.
+	if !strings.Contains(out, "] figure2/") || !strings.Contains(out, "] figure3/") {
+		t.Fatalf("progress lines lack experiment prefixes:\n%.600s", out)
+	}
+	// Both experiments render a section after the runs complete.
+	for _, want := range []string{"=== figure2:", "=== figure3:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	// The pool drains once for the whole sweep, not once per experiment.
+	if got := strings.Count(out, "finished in"); got != 1 {
+		t.Fatalf("%d 'finished in' markers, want 1 (single pooled sweep)", got)
 	}
 }

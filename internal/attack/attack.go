@@ -190,6 +190,13 @@ type Engine struct {
 	timer  *eventsim.Timer
 	target id.ID // resolved eclipse target
 
+	// conn is the cutset strategy's reusable analysis engine: one
+	// instance serves every strike, rebinding to each reconnaissance
+	// snapshot so the flow solvers and the cut-mode network are built
+	// once per engine instead of once per strike (nil for the other
+	// strategies, which need no flow analysis).
+	conn *connectivity.Engine
+
 	victims []Victim
 	strikes int
 }
@@ -200,7 +207,15 @@ func NewEngine(sim *eventsim.Simulator, cfg Config, pop Population) (*Engine, er
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{sim: sim, cfg: cfg, pop: pop, target: cfg.Target}, nil
+	e := &Engine{sim: sim, cfg: cfg, pop: pop, target: cfg.Target}
+	if cfg.Strategy == Cutset {
+		conn, err := connectivity.NewEngine(connectivity.EngineOptions{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		e.conn = conn
+	}
+	return e, nil
 }
 
 // Removed reports how many nodes the adversary has removed so far.

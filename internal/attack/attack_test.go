@@ -277,3 +277,36 @@ func TestCutsetFallsBackOnDegreeWhenNoCut(t *testing.T) {
 		t.Fatalf("removed %d, want 2 (degree fallback)", eng.Removed())
 	}
 }
+
+func TestCutsetReusesAnalysisEngine(t *testing.T) {
+	// Many strikes against a shrinking ring: every strike runs a full
+	// GraphCut, but the connectivity engine (and its cut-mode flow
+	// network) must be constructed exactly once and rebound in place —
+	// the PR-3 regression guard for the per-strike rebuild.
+	eng, pop := runAttack(t, 1, Config{
+		Strategy: Cutset, Budget: 8, Kills: 1, Interval: time.Minute, SampleFraction: 1.0,
+	}, 16, ring(16))
+	if eng.Removed() != 8 {
+		t.Fatalf("removed %d nodes, want the full budget 8 (live %d)", eng.Removed(), pop.liveCount())
+	}
+	if eng.Strikes() < 8 {
+		t.Fatalf("only %d strikes executed", eng.Strikes())
+	}
+	if eng.conn == nil {
+		t.Fatal("cutset engine must hold a persistent connectivity engine")
+	}
+	if builds := eng.conn.CutNetworkBuilds(); builds != 1 {
+		t.Fatalf("cut-mode network constructed %d times over %d strikes, want 1", builds, eng.Strikes())
+	}
+}
+
+func TestNonCutsetStrategiesSkipAnalysisEngine(t *testing.T) {
+	for _, strat := range []Strategy{Random, Degree, Eclipse} {
+		eng, _ := runAttack(t, 1, Config{
+			Strategy: strat, Budget: 2, Kills: 1, Interval: time.Minute,
+		}, 12, ring(12))
+		if eng.conn != nil {
+			t.Fatalf("strategy %s needlessly built a connectivity engine", strat)
+		}
+	}
+}

@@ -73,9 +73,9 @@ func selectDegree(s *snapshot.Snapshot, count int) []int {
 // analyzer sample with no evaluable pair) falls back to the degree
 // strategy entirely.
 func (e *Engine) selectCutset(s *snapshot.Snapshot, count int) []int {
-	cut, _, ok, err := connectivity.GraphCut(s.Graph, connectivity.Options{
+	e.conn.Bind(s.Graph)
+	cut, _, ok, err := e.conn.GraphCut(connectivity.Query{
 		SampleFraction: e.cfg.SampleFraction,
-		Workers:        e.cfg.Workers,
 	})
 	if err != nil || !ok || len(cut) == 0 {
 		return selectDegree(s, count)

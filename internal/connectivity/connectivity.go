@@ -12,14 +12,18 @@
 // out-degree (c = 0.02 was empirically sufficient on near-undirected
 // Kademlia graphs); both modes are implemented, as is the undirected
 // (n-1)-pair shortcut the paper cites.
+//
+// Two entry points share one implementation. Engine is the reusable
+// analysis object for sweeping workloads: it binds to a graph, keeps the
+// Even transform, the per-worker solvers and the cut-mode network alive
+// across bindings, and fuses the per-snapshot Min and Avg sweeps into a
+// single pass. Analyzer is the thin per-call compatibility wrapper over
+// an Engine, preserving the original construct-and-analyze API.
 package connectivity
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
-	"runtime"
-	"sort"
 	"sync"
 
 	"kadre/internal/graph"
@@ -63,9 +67,9 @@ type Options struct {
 	// prunes work but leaves Avg meaningless (reported as NaN).
 	MinOnly bool
 	// SkipMinPair reports MinPair as {-1, -1} without computing it.
-	// Under MinOnly the deterministic pair needs a second capped sweep
-	// (see lexMinPair), so callers that only read Min — the per-snapshot
-	// analyzers on the hot path — should skip it.
+	// Under MinOnly the deterministic pair may need a bounded re-check of
+	// capped evaluations (see Engine.resolveMinPair), so callers that
+	// only read Min can skip it.
 	SkipMinPair bool
 }
 
@@ -94,9 +98,16 @@ func Resilience(kappa int) int { return kappa - 1 }
 // tolerate a compromised nodes: kappa(D) > a, i.e. at least a+1.
 func RequiredConnectivity(a int) int { return a + 1 }
 
-// Analyzer computes graph connectivity with a fixed configuration.
+// Analyzer computes graph connectivity with a fixed configuration. It is
+// a thin compatibility wrapper over an Engine: every Analyze call binds
+// the engine to the argument graph, so repeated calls reuse the engine's
+// solvers and buffers. A mutex preserves the historical safety of
+// concurrent Analyze calls (they serialize; parallelism lives in the
+// engine's worker pool).
 type Analyzer struct {
 	opts Options
+	mu   sync.Mutex
+	eng  *Engine
 }
 
 // NewAnalyzer validates options and returns an Analyzer.
@@ -104,16 +115,21 @@ func NewAnalyzer(opts Options) (*Analyzer, error) {
 	if opts.SampleFraction < 0 || math.IsNaN(opts.SampleFraction) {
 		return nil, fmt.Errorf("connectivity: sample fraction %v must be >= 0", opts.SampleFraction)
 	}
-	if opts.Algorithm == 0 {
-		opts.Algorithm = maxflow.Dinic
-	}
 	if opts.Selection == 0 {
 		opts.Selection = SmallestOutDegree
 	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
+	eng, err := NewEngine(EngineOptions{
+		// An explicit algorithm choice applies to every query; the zero
+		// value lets the engine pick its per-query-kind defaults.
+		Algorithm:      opts.Algorithm,
+		ExactAlgorithm: opts.Algorithm,
+		Workers:        opts.Workers,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Analyzer{opts: opts}, nil
+	opts.Workers = eng.maxWorkers
+	return &Analyzer{opts: opts, eng: eng}, nil
 }
 
 // MustNewAnalyzer is NewAnalyzer for statically correct options.
@@ -142,263 +158,37 @@ func Pair(g *graph.Digraph, v, w int, algo maxflow.Algorithm) (int, error) {
 	if algo == 0 {
 		algo = maxflow.Dinic
 	}
-	solver := algo.NewSolver(2*g.N(), evenUnitEdges(g))
+	solver := algo.NewSolverSource(2*g.N(), &unitEdgeSource{edges: graph.EvenEdges(g)})
 	return solver.MaxFlow(graph.Out(v), graph.In(w)), nil
 }
 
 // Analyze computes the connectivity of g according to the analyzer's
 // options.
 func (a *Analyzer) Analyze(g *graph.Digraph) Result {
-	n := g.N()
-	if n <= 1 {
-		return Result{N: n, Complete: true, MinPair: [2]int{-1, -1}}
-	}
-	if g.IsComplete() {
-		return Result{N: n, Min: n - 1, Avg: float64(n - 1), Complete: true, MinPair: [2]int{-1, -1}}
-	}
-
-	sources := a.pickSources(g)
-	edges := evenUnitEdges(g)
-
-	type sourceResult struct {
-		min     int
-		minPair [2]int
-		sum     int64
-		pairs   int
-	}
-
-	var (
-		mu         sync.Mutex
-		running    = n // running global minimum shared across workers (for MinOnly pruning)
-		results    = make([]sourceResult, len(sources))
-		nextSource int
-	)
-
-	workers := a.opts.Workers
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			solver := a.opts.Algorithm.NewSolver(2*n, edges)
-			for {
-				mu.Lock()
-				idx := nextSource
-				if idx >= len(sources) {
-					mu.Unlock()
-					return
-				}
-				nextSource++
-				limit := running
-				mu.Unlock()
-
-				src := sources[idx]
-				res := sourceResult{min: n, minPair: [2]int{-1, -1}}
-				for tgt := 0; tgt < n; tgt++ {
-					if tgt == src || g.HasEdge(src, tgt) {
-						continue
-					}
-					var flow int
-					if a.opts.MinOnly {
-						flow = solver.MaxFlowLimit(graph.Out(src), graph.In(tgt), limit)
-					} else {
-						flow = solver.MaxFlow(graph.Out(src), graph.In(tgt))
-					}
-					res.pairs++
-					res.sum += int64(flow)
-					if flow < res.min {
-						res.min = flow
-						res.minPair = [2]int{src, tgt}
-						if flow < limit {
-							limit = flow
-							mu.Lock()
-							if flow < running {
-								running = flow
-							} else {
-								limit = running
-							}
-							mu.Unlock()
-						}
-					}
-				}
-				mu.Lock()
-				results[idx] = res
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-
-	out := Result{N: n, Min: n, MinPair: [2]int{-1, -1}, Sources: len(sources)}
-	var sum int64
-	for _, r := range results {
-		out.Pairs += r.pairs
-		sum += r.sum
-		if r.pairs == 0 {
-			continue
-		}
-		if r.min < out.Min || (r.min == out.Min && lexLess(r.minPair, out.MinPair)) {
-			out.Min = r.min
-			out.MinPair = r.minPair
-		}
-	}
-	if out.Pairs == 0 {
-		// Every sampled source was adjacent to every other vertex, so the
-		// sample yields no information. Report the definitional upper
-		// bound n-1 rather than claiming the graph is complete (it is
-		// not: IsComplete was checked above).
-		return Result{N: n, Min: n - 1, Avg: math.NaN(), MinPair: [2]int{-1, -1}, Sources: len(sources)}
-	}
-	if a.opts.MinOnly {
-		out.Avg = math.NaN()
-		if a.opts.SkipMinPair {
-			out.MinPair = [2]int{-1, -1}
-		} else {
-			out.MinPair = a.lexMinPair(g, sources, edges, out.Min)
-		}
-	} else {
-		out.Avg = float64(sum) / float64(out.Pairs)
-		if a.opts.SkipMinPair {
-			out.MinPair = [2]int{-1, -1}
-		}
-	}
-	return out
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.eng.Bind(g)
+	return a.eng.Analyze(a.query())
 }
 
-// lexMinPair re-selects MinPair deterministically after a MinOnly sweep.
-// Pruned sweeps evaluate most pairs with a capped solver, so the pair the
-// sweep attributes the minimum to depends on worker scheduling — and a
-// capped evaluation can even credit the minimum to a pair whose true
-// connectivity is larger (the cap hides the difference). A second pass
-// with limit min+1 distinguishes flow == min from flow > min exactly;
-// scanning sources in ascending vertex order and targets in ascending
-// order yields the lexicographically smallest minimizing evaluated pair
-// under any worker count. The pass is bounded by min+1 augmenting paths
-// per pair and stops as soon as no smaller pair can exist.
-func (a *Analyzer) lexMinPair(g *graph.Digraph, sources []int, edges []maxflow.Edge, min int) [2]int {
-	n := g.N()
-	sorted := append([]int(nil), sources...)
-	sort.Ints(sorted)
-
-	// hits[i] is the smallest minimizing target of sorted[i], or -1. Each
-	// slot is written by exactly one worker.
-	hits := make([]int, len(sorted))
-	var (
-		mu       sync.Mutex
-		next     int
-		firstHit = len(sorted) // smallest index with a hit so far
-		wg       sync.WaitGroup
-	)
-	workers := a.opts.Workers
-	if workers > len(sorted) {
-		workers = len(sorted)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			solver := a.opts.Algorithm.NewSolver(2*n, edges)
-			for {
-				mu.Lock()
-				idx := next
-				if idx >= len(sorted) || idx > firstHit {
-					// Sources past an existing hit cannot yield a
-					// lexicographically smaller pair.
-					mu.Unlock()
-					return
-				}
-				next++
-				mu.Unlock()
-
-				src := sorted[idx]
-				hits[idx] = -1
-				for tgt := 0; tgt < n; tgt++ {
-					if tgt == src || g.HasEdge(src, tgt) {
-						continue
-					}
-					mu.Lock()
-					obsolete := firstHit < idx
-					mu.Unlock()
-					if obsolete {
-						break
-					}
-					if solver.MaxFlowLimit(graph.Out(src), graph.In(tgt), min+1) == min {
-						hits[idx] = tgt
-						mu.Lock()
-						if idx < firstHit {
-							firstHit = idx
-						}
-						mu.Unlock()
-						break
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	if firstHit < len(sorted) {
-		return [2]int{sorted[firstHit], hits[firstHit]}
-	}
-	return [2]int{-1, -1}
+// GraphCut returns a minimum vertex cut of g found at the analyzer's
+// minimizing pair; see the package-level GraphCut.
+func (a *Analyzer) GraphCut(g *graph.Digraph) (cut []int, pair [2]int, ok bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.eng.Bind(g)
+	q := a.query()
+	return a.eng.GraphCut(q)
 }
 
-// pickSources returns the flow-source vertices: all of them for a full
-// sweep, the ceil(c*n) vertices with smallest out-degree (ties broken by
-// index, making runs deterministic) per the paper's heuristic, or a
-// seeded uniform sample of the same size.
-func (a *Analyzer) pickSources(g *graph.Digraph) []int {
-	n := g.N()
-	c := a.opts.SampleFraction
-	if c <= 0 || c >= 1 {
-		all := make([]int, n)
-		for i := range all {
-			all[i] = i
-		}
-		return all
+func (a *Analyzer) query() Query {
+	return Query{
+		SampleFraction: a.opts.SampleFraction,
+		Selection:      a.opts.Selection,
+		SelectionSeed:  a.opts.SelectionSeed,
+		MinOnly:        a.opts.MinOnly,
+		SkipMinPair:    a.opts.SkipMinPair,
 	}
-	count := int(math.Ceil(c * float64(n)))
-	if count < 1 {
-		count = 1
-	}
-	if count > n {
-		count = n
-	}
-	if a.opts.Selection == UniformRandom {
-		r := rand.New(rand.NewSource(a.opts.SelectionSeed))
-		return r.Perm(n)[:count]
-	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(i, j int) bool {
-		di, dj := g.OutDegree(order[i]), g.OutDegree(order[j])
-		if di != dj {
-			return di < dj
-		}
-		return order[i] < order[j]
-	})
-	return order[:count]
-}
-
-func evenUnitEdges(g *graph.Digraph) []maxflow.Edge {
-	ge := graph.EvenEdges(g)
-	edges := make([]maxflow.Edge, len(ge))
-	for i, e := range ge {
-		edges[i] = maxflow.Edge{U: e.U, V: e.V, Cap: 1}
-	}
-	return edges
 }
 
 func lexLess(a, b [2]int) bool {

@@ -362,8 +362,11 @@ func TestNewAnalyzerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.opts.Algorithm != maxflow.Dinic {
-		t.Error("default algorithm should be Dinic")
+	if a.opts.Algorithm != 0 {
+		t.Error("unset algorithm should stay zero, deferring to the engine defaults")
+	}
+	if a.eng.algo == 0 || a.eng.exactAlgo == 0 {
+		t.Error("engine must resolve concrete default algorithms")
 	}
 	if a.opts.Workers < 1 {
 		t.Error("workers should default to >= 1")

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"kadre/internal/graph"
-	"kadre/internal/maxflow"
 )
 
 // PairCut returns a minimum vertex cut separating w from v: a smallest set
@@ -23,29 +22,34 @@ import (
 // capacity n so that the minimum cut is forced onto internal edges only;
 // the flow value is unaffected because vertex-disjoint paths never share
 // an original edge.
+//
+// PairCut builds a throwaway Engine per call; callers computing cuts per
+// snapshot (the cutset adversary) should hold an Engine and use its
+// PairCut/GraphCut, which cache the cut-mode network across bindings.
 func PairCut(g *graph.Digraph, v, w int) ([]int, error) {
+	eng := MustNewEngine(EngineOptions{Workers: 1})
+	eng.Bind(g)
+	return eng.PairCut(v, w)
+}
+
+// checkCutPair validates a PairCut query against g.
+func checkCutPair(g *graph.Digraph, v, w int) error {
 	if v == w {
-		return nil, fmt.Errorf("connectivity: cut (%d,%d) has identical endpoints", v, w)
+		return fmt.Errorf("connectivity: cut (%d,%d) has identical endpoints", v, w)
 	}
 	if v < 0 || v >= g.N() || w < 0 || w >= g.N() {
-		return nil, fmt.Errorf("connectivity: cut (%d,%d) out of range [0,%d)", v, w, g.N())
+		return fmt.Errorf("connectivity: cut (%d,%d) out of range [0,%d)", v, w, g.N())
 	}
 	if g.HasEdge(v, w) {
-		return nil, fmt.Errorf("connectivity: vertices %d and %d are adjacent; no vertex cut separates them", v, w)
+		return fmt.Errorf("connectivity: vertices %d and %d are adjacent; no vertex cut separates them", v, w)
 	}
-	big := int32(g.N() + 1)
-	edges := make([]maxflow.Edge, 0, g.N()+g.M())
-	for u := 0; u < g.N(); u++ {
-		edges = append(edges, maxflow.Edge{U: graph.In(u), V: graph.Out(u), Cap: 1})
-	}
-	for u := 0; u < g.N(); u++ {
-		for _, x := range g.Successors(u) {
-			edges = append(edges, maxflow.Edge{U: graph.Out(u), V: graph.In(x), Cap: big})
-		}
-	}
-	solver := maxflow.NewDinic(2*g.N(), edges)
-	solver.MaxFlow(graph.Out(v), graph.In(w))
-	reach := solver.ResidualReachable(graph.Out(v))
+	return nil
+}
+
+// extractCut reads the cut vertices off the residual reachability of the
+// cut-mode network: u is cut when its internal edge crosses from the
+// reachable to the unreachable side.
+func extractCut(g *graph.Digraph, v, w int, reach []bool) []int {
 	var cut []int
 	for u := 0; u < g.N(); u++ {
 		if u == v || u == w {
@@ -56,7 +60,7 @@ func PairCut(g *graph.Digraph, v, w int) ([]int, error) {
 		}
 	}
 	sort.Ints(cut)
-	return cut, nil
+	return cut
 }
 
 // GraphCut returns a minimum vertex cut of the whole graph: the smallest
@@ -66,21 +70,16 @@ func PairCut(g *graph.Digraph, v, w int) ([]int, error) {
 // paper's system model: compromising exactly these kappa(D) nodes
 // partitions the network, while any kappa(D)-1 compromised nodes leave it
 // connected (r-resilience, Equation 2).
+//
+// Like PairCut this is the throwaway-per-call form; per-snapshot callers
+// should hold an Engine and use Engine.GraphCut.
 func GraphCut(g *graph.Digraph, opts Options) (cut []int, pair [2]int, ok bool, err error) {
 	opts.MinOnly = true
 	a, err := NewAnalyzer(opts)
 	if err != nil {
 		return nil, [2]int{}, false, err
 	}
-	res := a.Analyze(g)
-	if res.Complete || res.MinPair[0] < 0 {
-		return nil, [2]int{}, false, nil
-	}
-	cut, err = PairCut(g, res.MinPair[0], res.MinPair[1])
-	if err != nil {
-		return nil, [2]int{}, false, err
-	}
-	return cut, res.MinPair, true, nil
+	return a.GraphCut(g)
 }
 
 // RemoveVertices returns a copy of g with the given vertices deleted

@@ -82,8 +82,9 @@ func TestMinOnlyMinPairDeterministicAndCorrect(t *testing.T) {
 func TestMinOnlyMinPairSampledSources(t *testing.T) {
 	for seed := int64(20); seed <= 25; seed++ {
 		g := randomSymmetricGraph(seed, 40, 280)
-		a := MustNewAnalyzer(Options{SampleFraction: 0.1, MinOnly: true, Workers: 1})
-		sources := a.pickSources(g)
+		eng := MustNewEngine(EngineOptions{Workers: 1})
+		eng.Bind(g)
+		sources := append([]int(nil), eng.pickSources(0.1, SmallestOutDegree, 0)...)
 		wantMin, wantPair := bruteLexMinPair(t, g, sources)
 		for _, workers := range []int{1, 3, 8} {
 			res := MustNewAnalyzer(Options{

@@ -40,7 +40,7 @@ func UndirectedMin(g *graph.Digraph, algo maxflow.Algorithm) (int, error) {
 			src = v
 		}
 	}
-	solver := algo.NewSolver(2*n, evenUnitEdges(g))
+	solver := algo.NewSolverSource(2*n, &unitEdgeSource{edges: graph.EvenEdges(g)})
 	min := n - 1
 	found := false
 	for w := 0; w < n; w++ {

@@ -1,5 +1,10 @@
 package graph
 
+import (
+	"cmp"
+	"slices"
+)
+
 // Even's vertex-splitting transformation (Even 1975; §4.3 of the paper)
 // reduces vertex connectivity between non-adjacent vertices to maximum
 // flow. Every vertex v of D(V, E) is split into an incoming vertex v' and
@@ -34,14 +39,33 @@ func EvenTransform(g *Digraph) *Digraph {
 // unit capacities, avoiding the intermediate adjacency sets. The vertex
 // count of the transformed graph is 2*g.N().
 func EvenEdges(g *Digraph) []Edge {
-	edges := make([]Edge, 0, g.N()+g.M())
-	for v := 0; v < g.N(); v++ {
-		edges = append(edges, Edge{U: In(v), V: Out(v)})
+	return g.AppendEvenEdges(make([]Edge, 0, g.N()+g.M()))
+}
+
+// AppendEvenEdges appends the Even-transformed edge list to buf and
+// returns the extended slice. It produces exactly the edges of EvenEdges
+// in the same deterministic order — the n internal edges (v', v”) in
+// vertex order first, then the original edges (u”, v') sorted by (u, v)
+// — but lets sweeping callers reuse one buffer across many graphs
+// instead of allocating a fresh slice per snapshot.
+func (g *Digraph) AppendEvenEdges(buf []Edge) []Edge {
+	for v := 0; v < g.n; v++ {
+		buf = append(buf, Edge{U: In(v), V: Out(v)})
 	}
-	for u := 0; u < g.N(); u++ {
-		for _, v := range g.Successors(u) {
-			edges = append(edges, Edge{U: Out(u), V: In(v)})
+	start := len(buf)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			buf = append(buf, Edge{U: Out(u), V: In(int(v))})
 		}
 	}
-	return edges
+	// The adjacency sets iterate in arbitrary order; one global sort by
+	// (U, V) restores the per-vertex ascending-successor order (U =
+	// 2u+1 is monotone in u, V = 2v in v, and there are no duplicates).
+	slices.SortFunc(buf[start:], func(a, b Edge) int {
+		if a.U != b.U {
+			return cmp.Compare(a.U, b.U)
+		}
+		return cmp.Compare(a.V, b.V)
+	})
+	return buf
 }

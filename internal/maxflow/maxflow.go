@@ -3,10 +3,21 @@
 // graphs produced by Even's transformation, O(E*sqrt(V))) and a HIPR-style
 // highest-label push-relabel algorithm with gap and global-relabeling
 // heuristics, mirroring the solver the paper used (Cherkassky & Goldberg's
-// HIPR). Both solvers are reusable: a solver is built once per graph and
-// answers many (source, target) queries, resetting internal state between
-// queries — the same usage pattern as the authors' modified HIPR, which
-// they extended to evaluate multiple vertex pairs per invocation.
+// HIPR). Both solvers are reusable at three levels, extending the paper's
+// modified HIPR — which was rebuilt once per graph and answered many
+// vertex-pair queries per invocation:
+//
+//   - across queries: a solver answers many (source, target) queries on
+//     its graph, restoring only the residual capacities each query touched
+//     (Dinic) instead of rewriting the whole capacity array;
+//   - across sources: PrepareSource caches the first-phase BFS level
+//     graph of a fixed source, which on a fresh residual is identical for
+//     every target (Dinic; a no-op for push-relabel, which searches from
+//     the sink);
+//   - across graphs: Reset re-binds a solver to a new edge list in place,
+//     reusing every internal array whose capacity suffices, so sweeping
+//     analyses pay for allocation once per graph *shape* rather than once
+//     per snapshot.
 package maxflow
 
 import "fmt"
@@ -15,6 +26,28 @@ import "fmt"
 type Edge struct {
 	U, V int
 	Cap  int32
+}
+
+// EdgeSource yields a graph's capacitated edges by index. It lets solvers
+// consume edge lists of any element type — e.g. graph.Edge with implicit
+// unit capacities — without materializing an intermediate []Edge copy.
+type EdgeSource interface {
+	// NumEdges returns the number of edges.
+	NumEdges() int
+	// EdgeAt returns the i-th edge as (tail, head, capacity).
+	EdgeAt(i int) (u, v int, cap int32)
+}
+
+// EdgeSlice adapts a []Edge to EdgeSource.
+type EdgeSlice []Edge
+
+// NumEdges implements EdgeSource.
+func (s EdgeSlice) NumEdges() int { return len(s) }
+
+// EdgeAt implements EdgeSource.
+func (s EdgeSlice) EdgeAt(i int) (int, int, int32) {
+	e := s[i]
+	return e.U, e.V, e.Cap
 }
 
 // Solver answers repeated maximum-flow queries on a fixed graph.
@@ -29,6 +62,16 @@ type Solver interface {
 	MaxFlowLimit(s, t, limit int) int
 	// N returns the number of vertices.
 	N() int
+	// Reset re-binds the solver to a new graph in place, reusing internal
+	// arrays whose capacity suffices instead of reallocating. After Reset
+	// the solver behaves exactly like a freshly constructed one.
+	Reset(n int, edges EdgeSource)
+	// PrepareSource hints that the following queries share source s,
+	// letting the solver cache source-dependent state that is valid for
+	// every target (Dinic caches the fresh-residual BFS level graph; the
+	// hint is a no-op for push-relabel). The cache is invalidated by
+	// Reset and by PrepareSource with a different source.
+	PrepareSource(s int)
 }
 
 // Factory constructs a solver for a graph given as an edge list.
@@ -69,11 +112,17 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 
 // NewSolver builds a solver of the requested algorithm.
 func (a Algorithm) NewSolver(n int, edges []Edge) Solver {
+	return a.NewSolverSource(n, EdgeSlice(edges))
+}
+
+// NewSolverSource builds a solver of the requested algorithm from an
+// EdgeSource.
+func (a Algorithm) NewSolverSource(n int, edges EdgeSource) Solver {
 	switch a {
 	case PushRelabel:
-		return NewPushRelabel(n, edges)
+		return NewPushRelabelSource(n, edges)
 	default:
-		return NewDinic(n, edges)
+		return NewDinicSource(n, edges)
 	}
 }
 
@@ -86,66 +135,110 @@ func UnitEdges(pairs [][2]int) []Edge {
 	return out
 }
 
-// arcStore is the shared residual-graph representation: forward/backward
-// arc pairs in a compact array, with CSR-style per-vertex adjacency.
+// arcStore is the shared residual-graph representation in forward-star
+// layout: arcs are grouped contiguously by tail vertex, so the inner
+// loops of BFS/DFS/discharge scan to/cap sequentially with no index
+// indirection. Each original edge contributes a forward and a backward
+// arc; rev maps an arc to its partner. Per-vertex arc order matches the
+// historical CSR layout (ascending edge-list index), so traversal
+// decisions — and with them residual states and extracted cuts — are
+// bit-for-bit identical to earlier revisions.
 type arcStore struct {
 	n     int
 	to    []int32 // arc -> head vertex
 	cap   []int32 // arc -> residual capacity (mutated during a query)
 	cap0  []int32 // arc -> original capacity (for reset between queries)
-	first []int32 // vertex -> first arc index in arcIdx
-	last  []int32 // vertex -> one past last arc index
-	arcs  []int32 // adjacency: arc indices grouped by tail vertex
+	rev   []int32 // arc -> its reverse arc
+	first []int32 // vertex -> first arc index; first[n] is the arc count
+	// dirty records arcs whose residual capacity changed since the last
+	// reset, so resetTouched restores only what a query actually moved —
+	// augmenting a handful of unit paths instead of copying the whole
+	// capacity array. Only solvers that route every capacity mutation
+	// through touch (Dinic) may use resetTouched; others use resetAll.
+	dirty []int32
+	pos   []int32 // per-vertex next-slot cursor, scratch for init
 }
 
-func newArcStore(n int, edges []Edge) *arcStore {
+// init (re)binds the store to a graph, reusing slices whose capacity
+// suffices.
+func (s *arcStore) init(n int, edges EdgeSource) {
 	if n < 0 {
 		panic(fmt.Sprintf("maxflow: negative vertex count %d", n))
 	}
-	s := &arcStore{
-		n:     n,
-		to:    make([]int32, 0, 2*len(edges)),
-		cap:   make([]int32, 0, 2*len(edges)),
-		first: make([]int32, n+1),
-		last:  make([]int32, n),
+	m := edges.NumEdges()
+	s.n = n
+	s.first = growInt32(s.first, n+1)
+	for i := range s.first {
+		s.first[i] = 0
 	}
-	deg := make([]int32, n)
-	for _, e := range edges {
-		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", e.U, e.V, n))
+	for i := 0; i < m; i++ {
+		u, v, c := edges.EdgeAt(i)
+		if u < 0 || u >= n || v < 0 || v >= n {
+			panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, n))
 		}
-		if e.Cap < 0 {
-			panic(fmt.Sprintf("maxflow: negative capacity on edge (%d,%d)", e.U, e.V))
+		if c < 0 {
+			panic(fmt.Sprintf("maxflow: negative capacity on edge (%d,%d)", u, v))
 		}
-		deg[e.U]++
-		deg[e.V]++
-		s.to = append(s.to, int32(e.V), int32(e.U))
-		s.cap = append(s.cap, e.Cap, 0)
+		s.first[u]++
+		s.first[v]++
 	}
-	s.cap0 = append([]int32(nil), s.cap...)
-	// Build CSR adjacency over arc indices.
 	var total int32
 	for v := 0; v < n; v++ {
+		deg := s.first[v]
 		s.first[v] = total
-		s.last[v] = total
-		total += deg[v]
+		total += deg
 	}
 	s.first[n] = total
-	s.arcs = make([]int32, total)
-	for i, e := range edges {
-		fwd, bwd := int32(2*i), int32(2*i+1)
-		s.arcs[s.last[e.U]] = fwd
-		s.last[e.U]++
-		s.arcs[s.last[e.V]] = bwd
-		s.last[e.V]++
+	s.to = growInt32(s.to, int(total))
+	s.cap = growInt32(s.cap, int(total))
+	s.cap0 = growInt32(s.cap0, int(total))
+	s.rev = growInt32(s.rev, int(total))
+	s.pos = growInt32(s.pos, n)
+	next := s.pos
+	copy(next, s.first[:n])
+	for i := 0; i < m; i++ {
+		u, v, c := edges.EdgeAt(i)
+		fwd, bwd := next[u], next[v]
+		next[u]++
+		next[v]++
+		s.to[fwd] = int32(v)
+		s.to[bwd] = int32(u)
+		s.cap[fwd] = c
+		s.cap[bwd] = 0
+		s.rev[fwd] = bwd
+		s.rev[bwd] = fwd
 	}
-	return s
+	copy(s.cap0, s.cap)
+	s.dirty = s.dirty[:0]
 }
 
-// reset restores all residual capacities to their original values.
-func (s *arcStore) reset() {
+// touch records an arc whose capacity is about to change, so resetTouched
+// can restore it (and its reverse).
+func (s *arcStore) touch(a int32) {
+	s.dirty = append(s.dirty, a)
+}
+
+// resetTouched restores the residual capacities recorded via touch.
+func (s *arcStore) resetTouched() {
+	for _, a := range s.dirty {
+		s.cap[a] = s.cap0[a]
+		r := s.rev[a]
+		s.cap[r] = s.cap0[r]
+	}
+	s.dirty = s.dirty[:0]
+}
+
+// resetAll restores every residual capacity to its original value.
+func (s *arcStore) resetAll() {
 	copy(s.cap, s.cap0)
+	s.dirty = s.dirty[:0]
 }
 
-// rev returns the index of an arc's reverse arc.
-func rev(a int32) int32 { return a ^ 1 }
+// growInt32 returns a length-n slice, reusing s's backing array when its
+// capacity suffices.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}

@@ -9,11 +9,33 @@ import "fmt"
 //
 // Only the flow value is computed (HIPR's "phase 1"); the connectivity
 // pipeline never needs an explicit flow decomposition.
+//
+// Consecutive queries that share a source warm-start from the previous
+// query's preflow, in the spirit of Hao & Orlin's one-source all-sinks
+// algorithm: the residual state and parked excess are kept, heights are
+// recomputed exactly for the new sink by a global relabel, the source's
+// out-arcs are re-saturated, and the discharge loop reroutes the
+// leftover excess toward the new sink instead of rebuilding the flow
+// from zero. The result is exact for every sink: the preflow originated
+// at the source, the recomputed heights are valid, and at termination no
+// vertex on the residual-t side holds excess, so the saturated-cut
+// argument pins excess(t) to the max-flow value (see the sweep tests,
+// which pin equality against cold solves). Changing the source resets to
+// the classic cold start.
 type PushRelabelSolver struct {
-	st     *arcStore
+	st     arcStore
 	height []int32
 	excess []int64
-	cur    []int32 // current-arc pointers into st.arcs
+	cur    []int32 // current-arc cursor per vertex
+	// sweepSrc is the source whose preflow the residual state carries
+	// (-1 after Reset): queries from the same source warm-start on it.
+	sweepSrc int32
+	// rcap mirrors the reverse capacities: rcap[a] == st.cap[st.rev[a]],
+	// maintained on every push. The global relabel's backward BFS is the
+	// sweep's hottest loop, and the mirror turns its per-arc reverse
+	// lookup — a dependent random-access load — into a sequential scan.
+	rcap  []int32
+	rcap0 []int32
 	// Active-vertex buckets indexed by height (intrusive singly-linked
 	// lists over vertices).
 	bucketHead []int32
@@ -29,20 +51,49 @@ var _ Solver = (*PushRelabelSolver)(nil)
 
 // NewPushRelabel builds a push-relabel solver for the given graph.
 func NewPushRelabel(n int, edges []Edge) *PushRelabelSolver {
-	return &PushRelabelSolver{
-		st:          newArcStore(n, edges),
-		height:      make([]int32, n),
-		excess:      make([]int64, n),
-		cur:         make([]int32, n),
-		bucketHead:  make([]int32, 2*n+2),
-		nextActive:  make([]int32, n),
-		heightCount: make([]int32, 2*n+2),
-		queue:       make([]int32, 0, n),
+	return NewPushRelabelSource(n, EdgeSlice(edges))
+}
+
+// NewPushRelabelSource builds a push-relabel solver from an EdgeSource.
+func NewPushRelabelSource(n int, edges EdgeSource) *PushRelabelSolver {
+	p := &PushRelabelSolver{}
+	p.Reset(n, edges)
+	return p
+}
+
+// Reset implements Solver: it re-binds the solver to a new graph in
+// place, reusing internal arrays whose capacity suffices.
+func (p *PushRelabelSolver) Reset(n int, edges EdgeSource) {
+	p.st.init(n, edges)
+	p.height = growInt32(p.height, n)
+	p.cur = growInt32(p.cur, n)
+	p.bucketHead = growInt32(p.bucketHead, 2*n+2)
+	p.nextActive = growInt32(p.nextActive, n)
+	p.heightCount = growInt32(p.heightCount, 2*n+2)
+	if cap(p.excess) >= n {
+		p.excess = p.excess[:n]
+	} else {
+		p.excess = make([]int64, n)
 	}
+	if cap(p.queue) < n {
+		p.queue = make([]int32, 0, n)
+	}
+	arcs := len(p.st.cap)
+	p.rcap = growInt32(p.rcap, arcs)
+	p.rcap0 = growInt32(p.rcap0, arcs)
+	for a := 0; a < arcs; a++ {
+		p.rcap0[a] = p.st.cap0[p.st.rev[a]]
+	}
+	p.sweepSrc = -1
 }
 
 // N implements Solver.
 func (p *PushRelabelSolver) N() int { return p.st.n }
+
+// PrepareSource implements Solver. Push-relabel computes its heights by a
+// backward search from the sink, so there is no target-independent source
+// state to cache; the hint is a no-op.
+func (p *PushRelabelSolver) PrepareSource(int) {}
 
 // MaxFlow implements Solver.
 func (p *PushRelabelSolver) MaxFlow(s, t int) int {
@@ -59,23 +110,24 @@ func (p *PushRelabelSolver) MaxFlowLimit(s, t, limit int) int {
 	if s == t {
 		panic("maxflow: source equals target")
 	}
-	p.st.reset()
 	ss, tt := int32(s), int32(t)
-
-	for i := range p.excess {
-		p.excess[i] = 0
+	if p.sweepSrc != ss {
+		// Cold start: fresh residual, no excess.
+		p.st.resetAll()
+		copy(p.rcap, p.rcap0)
+		for i := range p.excess {
+			p.excess[i] = 0
+		}
+		p.sweepSrc = ss
 	}
-	for i := range p.bucketHead {
-		p.bucketHead[i] = -1
-	}
-	p.highest = 0
 	p.relabels = 0
 
-	// Exact initial heights via backward BFS from t, then saturate arcs
-	// out of s.
-	p.globalRelabel(ss, tt)
-	for ai := p.st.first[ss]; ai < p.st.first[ss+1]; ai++ {
-		a := p.st.arcs[ai]
+	// Exact heights for this sink via backward BFS on the (possibly
+	// inherited) residual, with active buckets rebuilt from the carried
+	// excess; then (re-)saturate the arcs out of s — on a warm start only
+	// the capacity that earlier discharges pushed back into s.
+	p.globalRelabelPreserve(ss, tt)
+	for a := p.st.first[ss]; a < p.st.first[ss+1]; a++ {
 		if p.st.cap[a] <= 0 {
 			continue
 		}
@@ -86,8 +138,11 @@ func (p *PushRelabelSolver) MaxFlowLimit(s, t, limit int) int {
 		amt := p.st.cap[a]
 		before := p.excess[v]
 		p.excess[v] += int64(amt)
-		p.st.cap[rev(a)] += amt
+		r := p.st.rev[a]
+		p.st.cap[r] += amt
 		p.st.cap[a] = 0
+		p.rcap[a] += amt
+		p.rcap[r] = 0
 		if before == 0 && v != tt && p.height[v] < n {
 			p.activate(v)
 		}
@@ -147,7 +202,7 @@ func (p *PushRelabelSolver) discharge(u, s, t, n int32) {
 			p.relabel(u, n)
 			continue
 		}
-		a := p.st.arcs[p.cur[u]]
+		a := p.cur[u]
 		v := p.st.to[a]
 		if p.st.cap[a] > 0 && p.height[u] == p.height[v]+1 {
 			p.push(u, v, a, s, t, n)
@@ -163,8 +218,11 @@ func (p *PushRelabelSolver) push(u, v, a, s, t, n int32) {
 		amt = p.excess[u]
 	}
 	before := p.excess[v]
+	r := p.st.rev[a]
 	p.st.cap[a] -= int32(amt)
-	p.st.cap[rev(a)] += int32(amt)
+	p.st.cap[r] += int32(amt)
+	p.rcap[r] -= int32(amt)
+	p.rcap[a] += int32(amt)
 	p.excess[u] -= amt
 	p.excess[v] += amt
 	if before == 0 && v != s && v != t && p.height[v] < n {
@@ -190,8 +248,7 @@ func (p *PushRelabelSolver) relabel(u, n int32) {
 		return
 	}
 	minH := int32(2*p.st.n) + 1
-	for ai := p.st.first[u]; ai < p.st.first[u+1]; ai++ {
-		a := p.st.arcs[ai]
+	for a := p.st.first[u]; a < p.st.first[u+1]; a++ {
 		if p.st.cap[a] > 0 && p.height[p.st.to[a]] < minH {
 			minH = p.height[p.st.to[a]]
 		}
@@ -210,32 +267,35 @@ func (p *PushRelabelSolver) relabel(u, n int32) {
 // height n.
 func (p *PushRelabelSolver) globalRelabel(s, t int32) {
 	n := int32(p.st.n)
-	for i := range p.height {
-		p.height[i] = n
+	height := p.height
+	for i := range height {
+		height[i] = n
 	}
 	for i := range p.heightCount {
 		p.heightCount[i] = 0
 	}
-	copy(p.cur, p.st.first)
-	p.height[t] = 0
-	p.queue = p.queue[:0]
-	p.queue = append(p.queue, t)
-	for head := 0; head < len(p.queue); head++ {
-		v := p.queue[head]
-		for ai := p.st.first[v]; ai < p.st.first[v+1]; ai++ {
-			a := p.st.arcs[ai]
-			u := p.st.to[a]
+	copy(p.cur, p.st.first[:p.st.n])
+	height[t] = 0
+	first, to, rcap := p.st.first, p.st.to, p.rcap
+	queue := p.queue[:0]
+	queue = append(queue, t)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		hv1 := height[v] + 1
+		for a := first[v]; a < first[v+1]; a++ {
+			u := to[a]
 			// Residual arc u->v exists iff the reverse of the v->u arc
-			// has positive capacity.
-			if p.st.cap[rev(a)] > 0 && p.height[u] == n && u != t && u != s {
-				p.height[u] = p.height[v] + 1
-				p.queue = append(p.queue, u)
+			// has positive capacity, mirrored sequentially in rcap.
+			if rcap[a] > 0 && height[u] == n && u != t && u != s {
+				height[u] = hv1
+				queue = append(queue, u)
 			}
 		}
 	}
-	p.height[s] = n
+	p.queue = queue
+	height[s] = n
 	for v := int32(0); v < n; v++ {
-		p.heightCount[p.height[v]]++
+		p.heightCount[height[v]]++
 	}
 }
 

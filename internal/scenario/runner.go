@@ -82,14 +82,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Connectivity snapshots: every SnapshotInterval, plus one at the very
-	// end of the run.
+	// end of the run. One engine serves every snapshot, fusing the Min
+	// (smallest-out-degree, pruned) and Avg (seeded uniform, exact) sweeps
+	// into a single pass and reusing the Even transform, solver pool and
+	// scratch across snapshots instead of rebuilding them per analyzer.
 	res := &Result{Config: cfg}
-	minAnalyzer, err := connectivity.NewAnalyzer(connectivity.Options{
-		SampleFraction: cfg.SampleFraction,
-		MinOnly:        true,
-		SkipMinPair:    true, // snapshots read only Min; skip the pair pass
-		Workers:        cfg.Workers,
-	})
+	engine, err := connectivity.NewEngine(connectivity.EngineOptions{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -101,19 +99,16 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if s.N() > 1 {
 			point.Symmetry = s.Graph.SymmetryRatio()
-			point.Min = minAnalyzer.Analyze(s.Graph).Min
-			avgAnalyzer, aerr := connectivity.NewAnalyzer(connectivity.Options{
+			engine.Bind(s.Graph)
+			sr := engine.AnalyzeSnapshot(connectivity.SnapshotQuery{
 				SampleFraction: cfg.SampleFraction,
-				Selection:      connectivity.UniformRandom,
-				SelectionSeed:  cfg.Seed + int64(len(res.Points)),
-				Workers:        cfg.Workers,
+				AvgSeed:        cfg.Seed + int64(len(res.Points)),
 			})
-			if aerr != nil {
-				panic(aerr) // options are statically valid
-			}
-			avgRes := avgAnalyzer.Analyze(s.Graph)
-			point.Avg = avgRes.Avg
-			if avgRes.Pairs == 0 {
+			point.Min = sr.Min.Min
+			point.Avg = sr.Avg.Avg
+			if sr.Avg.Pairs == 0 {
+				// The uniform sample yielded no evaluable pair (or the
+				// graph was complete): fall back to the definitional n-1.
 				point.Avg = float64(s.N() - 1)
 			}
 		}

@@ -43,14 +43,15 @@ type Options struct {
 
 // Event reports one completed (or failed) run to the Progress callback.
 type Event struct {
-	Name    string        // config name
-	Rep     int           // replication index, 0-based
-	Seed    int64         // derived seed the run used
-	Done    int           // completed runs so far, including this one
-	Total   int           // total runs in the sweep
-	Elapsed time.Duration // wall-clock cost of this run
-	Cached  bool          // run was replayed from a checkpoint
-	Err     error         // non-nil if the run failed
+	Experiment string        // group name in a multi-experiment sweep ("" otherwise)
+	Name       string        // config name
+	Rep        int           // replication index, 0-based
+	Seed       int64         // derived seed the run used
+	Done       int           // completed runs so far, including this one
+	Total      int           // total runs in the sweep (all groups)
+	Elapsed    time.Duration // wall-clock cost of this run
+	Cached     bool          // run was replayed from a checkpoint
+	Err        error         // non-nil if the run failed
 }
 
 // RunSet is the outcome of all replications of one configuration.
@@ -104,36 +105,69 @@ func DeriveSeed(base int64, rep int) int64 {
 	return seed
 }
 
+// Group names one experiment's configurations inside a multi-experiment
+// sweep; the name is echoed as Event.Experiment on its runs' progress
+// events.
+type Group struct {
+	Name    string
+	Configs []scenario.Config
+}
+
 // Run executes every configuration Reps times across the worker pool and
 // returns one RunSet per configuration, in input order. Any run failure
 // aborts the sweep with the error of the smallest (config, rep) index;
 // in-flight runs complete, and queued runs beyond the failure may be
 // skipped.
 func Run(cfgs []scenario.Config, opts Options) ([]*RunSet, error) {
+	sets, err := RunGroups([]Group{{Configs: cfgs}}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sets[0], nil
+}
+
+// RunGroups executes several experiments' sweeps through one shared
+// worker pool, returning per-group RunSets in input order. Unlike
+// looping Run over the groups, the pool never drains between
+// experiments: jobs from the next experiment backfill workers as the
+// previous experiment's tail finishes, keeping every core busy across
+// experiment boundaries. Determinism is unchanged — every run is a pure
+// function of its config and seed, and results are reassembled by
+// index — so the output is identical to the serial per-experiment form.
+//
+// On failure RunGroups returns the error of the earliest failing
+// (group, config, rep) index alongside a partial result: groups whose
+// runs all completed carry their RunSets, the rest are nil. Callers can
+// therefore persist the finished experiments of a long pooled sweep
+// instead of discarding hours of completed work with the error.
+func RunGroups(groups []Group, opts Options) ([][]*RunSet, error) {
 	reps := opts.Reps
 	if reps <= 0 {
 		reps = 1
 	}
 
 	type job struct {
-		cfg scenario.Config
-		rep int
+		cfg   scenario.Config
+		group string
+		rep   int
 	}
-	jobs := make([]job, 0, len(cfgs)*reps)
-	for _, cfg := range cfgs {
-		for r := 0; r < reps; r++ {
-			jc := cfg
-			jc.Seed = DeriveSeed(cfg.Seed, r)
-			jobs = append(jobs, job{cfg: jc, rep: r})
+	var jobs []job
+	for _, g := range groups {
+		for _, cfg := range g.Configs {
+			for r := 0; r < reps; r++ {
+				jc := cfg
+				jc.Seed = DeriveSeed(cfg.Seed, r)
+				jobs = append(jobs, job{cfg: jc, group: g.Name, rep: r})
+			}
 		}
 	}
 
 	progress := newProgressGate(opts.Progress, len(jobs))
-	results, err := par.Map(opts.Jobs, jobs, func(i int, j job) (*scenario.Result, error) {
+	results, mapErr := par.Map(opts.Jobs, jobs, func(i int, j job) (*scenario.Result, error) {
 		if opts.Checkpoint != nil {
 			if res, ok := opts.Checkpoint.Load(j.cfg, j.rep); ok {
 				progress.emit(Event{
-					Name: j.cfg.Name, Rep: j.rep, Seed: j.cfg.Seed, Cached: true,
+					Experiment: j.group, Name: j.cfg.Name, Rep: j.rep, Seed: j.cfg.Seed, Cached: true,
 				})
 				return res, nil
 			}
@@ -147,7 +181,7 @@ func Run(cfgs []scenario.Config, opts Options) ([]*RunSet, error) {
 			elapsed = res.Elapsed
 		}
 		progress.emit(Event{
-			Name: j.cfg.Name, Rep: j.rep, Seed: j.cfg.Seed,
+			Experiment: j.group, Name: j.cfg.Name, Rep: j.rep, Seed: j.cfg.Seed,
 			Elapsed: elapsed, Err: rerr,
 		})
 		if rerr != nil {
@@ -155,20 +189,36 @@ func Run(cfgs []scenario.Config, opts Options) ([]*RunSet, error) {
 		}
 		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 
-	sets := make([]*RunSet, len(cfgs))
-	for ci := range cfgs {
-		rs := &RunSet{Config: cfgs[ci], Reps: results[ci*reps : (ci+1)*reps]}
-		rs.Config.Seed = DeriveSeed(cfgs[ci].Seed, 0)
-		if err := rs.aggregate(); err != nil {
-			return nil, fmt.Errorf("sweep: config %q: %w", rs.Config.Name, err)
+	out := make([][]*RunSet, len(groups))
+	next := 0
+	for gi, g := range groups {
+		sets := make([]*RunSet, len(g.Configs))
+		complete := true
+		for ci := range g.Configs {
+			repResults := results[next : next+reps]
+			next += reps
+			for _, r := range repResults {
+				if r == nil {
+					// Failed, or skipped after the first failure.
+					complete = false
+				}
+			}
+			if !complete {
+				continue
+			}
+			rs := &RunSet{Config: g.Configs[ci], Reps: repResults}
+			rs.Config.Seed = DeriveSeed(g.Configs[ci].Seed, 0)
+			if err := rs.aggregate(); err != nil {
+				return nil, fmt.Errorf("sweep: config %q: %w", rs.Config.Name, err)
+			}
+			sets[ci] = rs
 		}
-		sets[ci] = rs
+		if complete {
+			out[gi] = sets
+		}
 	}
-	return sets, nil
+	return out, mapErr
 }
 
 // Aggregate (re)builds the cross-replication aggregate series from Reps.

@@ -230,3 +230,86 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatal("single-rep CI must be null")
 	}
 }
+
+// TestRunGroupsMatchesSerialRuns pins the shared-pool multi-experiment
+// sweep to the serial per-experiment form: identical RunSets per group,
+// with progress events labelled by experiment and a single monotonically
+// increasing Done counter spanning all groups.
+func TestRunGroupsMatchesSerialRuns(t *testing.T) {
+	groupA := []scenario.Config{tinyConfig("A1", 3), tinyConfig("A2", 4)}
+	groupB := []scenario.Config{tinyConfig("B1", 5)}
+
+	serialA, err := Run(groupA, Options{Reps: 2, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialB, err := Run(groupB, Options{Reps: 2, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	events := map[string]int{}
+	lastDone := 0
+	pooled, err := RunGroups([]Group{
+		{Name: "expA", Configs: groupA},
+		{Name: "expB", Configs: groupB},
+	}, Options{Reps: 2, Jobs: 4, Progress: func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		events[ev.Experiment]++
+		if ev.Done != lastDone+1 || ev.Total != 6 {
+			t.Errorf("event counter broken: done %d after %d, total %d", ev.Done, lastDone, ev.Total)
+		}
+		lastDone = ev.Done
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pooled) != 2 || len(pooled[0]) != 2 || len(pooled[1]) != 1 {
+		t.Fatalf("pooled shape wrong: %d groups", len(pooled))
+	}
+	if events["expA"] != 4 || events["expB"] != 2 {
+		t.Fatalf("events per experiment %v, want expA:4 expB:2", events)
+	}
+	for ci, rs := range pooled[0] {
+		for rep := range rs.Reps {
+			if !reflect.DeepEqual(rs.Reps[rep].Points, serialA[ci].Reps[rep].Points) {
+				t.Fatalf("group A config %d rep %d diverged from serial run", ci, rep)
+			}
+		}
+	}
+	for rep := range pooled[1][0].Reps {
+		if !reflect.DeepEqual(pooled[1][0].Reps[rep].Points, serialB[0].Reps[rep].Points) {
+			t.Fatalf("group B rep %d diverged from serial run", rep)
+		}
+	}
+}
+
+// TestRunGroupsPartialResultsOnFailure pins the salvage contract: when a
+// later group's run fails, the error is reported AND every group whose
+// runs all completed still carries its RunSets, so callers can persist
+// finished experiments instead of discarding them.
+func TestRunGroupsPartialResultsOnFailure(t *testing.T) {
+	bad := tinyConfig("bad", 9)
+	bad.Size = 1 // fails scenario validation at run time
+	out, err := RunGroups([]Group{
+		{Name: "good", Configs: []scenario.Config{tinyConfig("G", 3)}},
+		{Name: "broken", Configs: []scenario.Config{bad}},
+	}, Options{Reps: 1, Jobs: 2})
+	if err == nil {
+		t.Fatal("failing config must surface an error")
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d groups, want 2", len(out))
+	}
+	if out[0] == nil || len(out[0]) != 1 || out[0][0] == nil || len(out[0][0].Reps) != 1 {
+		t.Fatalf("completed group lost with the error: %+v", out[0])
+	}
+	if out[0][0].Reps[0] == nil || len(out[0][0].Reps[0].Points) == 0 {
+		t.Fatal("completed group's result is empty")
+	}
+	if out[1] != nil {
+		t.Fatalf("failed group must be nil, got %+v", out[1])
+	}
+}
