@@ -418,6 +418,85 @@ func BenchmarkSnapshotAnalysisFused(b *testing.B) {
 	}
 }
 
+// churnSequence builds a cyclic sequence of same-vertex-set graphs, each
+// differing from its predecessor by ~changes routing-table edge updates,
+// plus the per-step deltas (deltas[i] transforms graphs[i] into
+// graphs[(i+1)%len]). It models adjacent snapshots of a stable-membership
+// window — the incremental reanalysis workload.
+func churnSequence(n, deg, steps, changes int, seed int64) ([]*graph.Digraph, []graph.Delta) {
+	r := rand.New(rand.NewSource(seed))
+	graphs := make([]*graph.Digraph, steps)
+	graphs[0] = benchGraph(n, deg, seed)
+	for i := 1; i < steps; i++ {
+		g := graphs[i-1].Clone()
+		all := g.Edges()
+		for c := 0; c < changes/2 && len(all) > 0; c++ {
+			k := r.Intn(len(all))
+			g.RemoveEdge(all[k].U, all[k].V)
+			all[k] = all[len(all)-1]
+			all = all[:len(all)-1]
+		}
+		for c := 0; c < changes/2; c++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		graphs[i] = g
+	}
+	deltas := make([]graph.Delta, steps)
+	for i := range graphs {
+		graph.DiffInto(graphs[i], graphs[(i+1)%steps], &deltas[i])
+	}
+	return graphs, deltas
+}
+
+// churnSequenceBench returns the benchmark body for one engine-binding
+// mode over the adjacent-snapshot workload. "rebind" is the incremental
+// path (edge deltas patched in place); "bind" rebuilds the binding per
+// snapshot; the algo selects the sweep solver. The bind-pushrelabel
+// variant is PR 3's per-snapshot rebinding path — the baseline the
+// adjacent-snapshot reanalysis speedup is measured against.
+func churnSequenceBench(rebind bool, algo maxflow.Algorithm) func(*testing.B) {
+	return func(b *testing.B) {
+		graphs, deltas := churnSequence(250, 20, 8, 40, 13)
+		eng := connectivity.MustNewEngine(connectivity.EngineOptions{
+			Algorithm: algo, ExactAlgorithm: algo,
+		})
+		eng.Bind(graphs[0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range graphs {
+				g := graphs[(j+1)%len(graphs)]
+				if rebind {
+					eng.Rebind(g, deltas[j])
+				} else {
+					eng.Bind(g)
+				}
+				eng.AnalyzeSnapshot(connectivity.SnapshotQuery{SampleFraction: 0.02, AvgSeed: int64(j)})
+			}
+		}
+		// ns/op per snapshot, not per cycle, for comparability with
+		// BenchmarkSnapshotAnalysisFused.
+		b.ReportMetric(0, "ns/op") // reset default
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(graphs)), "ns/snapshot")
+	}
+}
+
+// BenchmarkChurnSequence measures adjacent-snapshot reanalysis: a cycle
+// of same-membership snapshot graphs differing by ~40 routing-table
+// edges, analyzed with the fused Min+Avg sweep. rebind-haoorlin is the
+// incremental path this repo ships (delta patching + the fixed-root
+// sweep solver); bind-haoorlin isolates the rebinding overhead;
+// bind-pushrelabel is the previous revision's per-snapshot rebinding
+// baseline.
+func BenchmarkChurnSequence(b *testing.B) {
+	b.Run("rebind-haoorlin", churnSequenceBench(true, maxflow.HaoOrlin))
+	b.Run("bind-haoorlin", churnSequenceBench(false, maxflow.HaoOrlin))
+	b.Run("bind-pushrelabel", churnSequenceBench(false, maxflow.PushRelabel))
+}
+
 // BenchmarkSimulationMinute measures raw simulation throughput: one
 // simulated minute of a 100-node network with full data traffic.
 func BenchmarkSimulationMinute(b *testing.B) {

@@ -63,6 +63,9 @@ func TestBenchTrajectory(t *testing.T) {
 		{"SnapshotAnalysisFused", BenchmarkSnapshotAnalysisFused},
 		{"MaxflowAlgorithms/dinic", maxflowAlgoBench(maxflow.Dinic)},
 		{"MaxflowAlgorithms/push-relabel", maxflowAlgoBench(maxflow.PushRelabel)},
+		{"MaxflowAlgorithms/hao-orlin", maxflowAlgoBench(maxflow.HaoOrlin)},
+		{"ChurnSequence/rebind-haoorlin", churnSequenceBench(true, maxflow.HaoOrlin)},
+		{"ChurnSequence/bind-pushrelabel", churnSequenceBench(false, maxflow.PushRelabel)},
 		{"Figure2SimA", func(b *testing.B) { benchFigure(b, scenario.Scale.Figure2) }},
 	}
 	doc := benchTrajectoryFile{

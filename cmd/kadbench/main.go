@@ -1,0 +1,158 @@
+// Command kadbench diffs two points of the repository's performance
+// trajectory (the BENCH_<date>.json files written by the -benchjson test
+// mode), rendering a benchstat-style old-vs-new table of ns/op and
+// allocs/op and optionally failing on regressions.
+//
+// Usage:
+//
+//	kadbench [-max-regress PCT] OLD.json NEW.json
+//
+// With -max-regress set to a positive percentage, kadbench exits nonzero
+// when any benchmark present in both files regressed its ns/op by more
+// than PCT percent — the CI gate for the trajectory. Without it the
+// table is informational (CI's -benchtime=1x smoke numbers are too noisy
+// to gate on).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+)
+
+// benchFile mirrors the benchTrajectoryFile schema written by the
+// -benchjson test mode.
+type benchFile struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Scale      string       `json:"scale"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kadbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("kadbench", flag.ContinueOnError)
+	fs.SetOutput(w)
+	maxRegress := fs.Float64("max-regress", 0,
+		"fail when any common benchmark's ns/op regresses by more than this percentage (0 disables the gate)")
+	fs.Usage = func() {
+		fmt.Fprintln(w, "usage: kadbench [-max-regress PCT] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("want exactly two trajectory files, got %d", fs.NArg())
+	}
+	oldDoc, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "old: %s (%s, %s, gomaxprocs %d)\n", fs.Arg(0), oldDoc.Date, oldDoc.GoVersion, oldDoc.GOMAXPROCS)
+	fmt.Fprintf(w, "new: %s (%s, %s, gomaxprocs %d)\n\n", fs.Arg(1), newDoc.Date, newDoc.GoVersion, newDoc.GOMAXPROCS)
+
+	oldBy := map[string]benchEntry{}
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := map[string]benchEntry{}
+	for _, b := range newDoc.Benchmarks {
+		newBy[b.Name] = b
+	}
+
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\t")
+	var regressed []string
+	// Old-file order first (stable diff), then additions in new-file order.
+	for _, ob := range oldDoc.Benchmarks {
+		nb, ok := newBy[ob.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t%s\t\tremoved\t%d\t\t\n", ob.Name, fmtNs(ob.NsPerOp), ob.AllocsPerOp)
+			continue
+		}
+		delta := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%+.2f%%\t%d\t%d\t\n",
+			ob.Name, fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta, ob.AllocsPerOp, nb.AllocsPerOp)
+		if *maxRegress > 0 && delta > *maxRegress {
+			regressed = append(regressed, fmt.Sprintf("%s: %+.2f%% ns/op (limit %+.2f%%)", ob.Name, delta, *maxRegress))
+		}
+	}
+	for _, nb := range newDoc.Benchmarks {
+		if _, ok := oldBy[nb.Name]; !ok {
+			fmt.Fprintf(tw, "%s\t\t%s\tadded\t\t%d\t\n", nb.Name, fmtNs(nb.NsPerOp), nb.AllocsPerOp)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintln(w)
+		for _, r := range regressed {
+			fmt.Fprintln(w, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.2f%%", len(regressed), *maxRegress)
+	}
+	return nil
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in trajectory file", path)
+	}
+	return &doc, nil
+}
+
+// pctDelta returns the ns/op change in percent (positive = slower).
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// fmtNs renders nanoseconds compactly (benchstat style).
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.4gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.4gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", ns)
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTrajectory writes a canned BENCH file and returns its path.
+func writeTrajectory(t *testing.T, dir, name string, entries []benchEntry) string {
+	t.Helper()
+	doc := benchFile{Date: "2026-01-01", GoVersion: "go1.24.0", GOMAXPROCS: 4, Scale: "tiny", Benchmarks: entries}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func canned(t *testing.T) (old, new string) {
+	dir := t.TempDir()
+	old = writeTrajectory(t, dir, "old.json", []benchEntry{
+		{Name: "SnapshotAnalysis", NsPerOp: 100e6, AllocsPerOp: 3, Iterations: 10},
+		{Name: "MaxflowAlgorithms/dinic", NsPerOp: 250e3, AllocsPerOp: 0, Iterations: 5000},
+		{Name: "Legacy", NsPerOp: 5e3, AllocsPerOp: 1, Iterations: 100},
+	})
+	new = writeTrajectory(t, dir, "new.json", []benchEntry{
+		{Name: "SnapshotAnalysis", NsPerOp: 40e6, AllocsPerOp: 3, Iterations: 25},           // -60%: improvement
+		{Name: "MaxflowAlgorithms/dinic", NsPerOp: 300e3, AllocsPerOp: 0, Iterations: 4000}, // +20%: regression
+		{Name: "ChurnSequence/rebind", NsPerOp: 12e6, AllocsPerOp: 6, Iterations: 80},       // added
+	})
+	return old, new
+}
+
+func TestDiffTable(t *testing.T) {
+	old, new := canned(t)
+	var buf bytes.Buffer
+	if err := run([]string{old, new}, &buf); err != nil {
+		t.Fatalf("informational diff failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"SnapshotAnalysis", "-60.00%",
+		"MaxflowAlgorithms/dinic", "+20.00%",
+		"Legacy", "removed",
+		"ChurnSequence/rebind", "added",
+		"100ms", "40ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegressionGate(t *testing.T) {
+	old, new := canned(t)
+	var buf bytes.Buffer
+	// 25% tolerance: the +20% dinic regression passes.
+	if err := run([]string{"-max-regress", "25", old, new}, &buf); err != nil {
+		t.Fatalf("within-tolerance run failed: %v\n%s", err, buf.String())
+	}
+	// 10% tolerance: it fails, naming the offender.
+	buf.Reset()
+	err := run([]string{"-max-regress", "10", old, new}, &buf)
+	if err == nil {
+		t.Fatalf("10%% gate did not fail:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION: MaxflowAlgorithms/dinic") {
+		t.Fatalf("gate output does not name the regressed benchmark:\n%s", buf.String())
+	}
+	// The gate never fires on removed/added benchmarks or improvements.
+	if strings.Contains(buf.String(), "REGRESSION: SnapshotAnalysis") ||
+		strings.Contains(buf.String(), "REGRESSION: Legacy") ||
+		strings.Contains(buf.String(), "REGRESSION: ChurnSequence/rebind") {
+		t.Fatalf("gate fired on a non-regression:\n%s", buf.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeTrajectory(t, dir, "good.json", []benchEntry{{Name: "X", NsPerOp: 1}})
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{good}, &buf); err == nil {
+		t.Fatal("one positional argument should be rejected")
+	}
+	if err := run([]string{good, filepath.Join(dir, "missing.json")}, &buf); err == nil {
+		t.Fatal("missing file should be rejected")
+	}
+	if err := run([]string{good, empty}, &buf); err == nil {
+		t.Fatal("empty trajectory should be rejected")
+	}
+}
+
+// TestAgainstRealTrajectories smoke-diffs the repository's committed
+// BENCH points, so the tool keeps parsing whatever the writer emits.
+func TestAgainstRealTrajectories(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(matches) < 2 {
+		t.Skipf("need two committed BENCH files, have %d", len(matches))
+	}
+	var buf bytes.Buffer
+	if err := run([]string{matches[0], matches[len(matches)-1]}, &buf); err != nil {
+		t.Fatalf("diffing committed trajectories: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "benchmark") {
+		t.Fatalf("no table rendered:\n%s", buf.String())
+	}
+}

@@ -35,7 +35,7 @@ func run(args []string) error {
 	var (
 		in       = fs.String("in", "", "input file (required)")
 		format   = fs.String("format", "json", "input format: json (kadsim snapshot) or dimacs")
-		algoName = fs.String("algo", "dinic", "max-flow algorithm: dinic or push-relabel")
+		algoName = fs.String("algo", "dinic", "max-flow algorithm: dinic, push-relabel, or hao-orlin")
 		full     = fs.Bool("full", false, "full n(n-1) sweep instead of sampled sources")
 		sampleC  = fs.Float64("c", connectivity.DefaultSampleFraction, "sampling fraction c (ignored with -full)")
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")

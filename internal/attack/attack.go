@@ -194,8 +194,14 @@ type Engine struct {
 	// instance serves every strike, rebinding to each reconnaissance
 	// snapshot so the flow solvers and the cut-mode network are built
 	// once per engine instead of once per strike (nil for the other
-	// strategies, which need no flow analysis).
-	conn *connectivity.Engine
+	// strategies, which need no flow analysis). connBinder chooses the
+	// incremental rebind path for consecutive reconnaissance snapshots
+	// with unchanged membership — the adversary knows its own removals,
+	// but churn interleaves strikes, so identity is re-checked against
+	// the previous snapshot's address list.
+	conn       *connectivity.Engine
+	connBinder *connectivity.IncrementalBinder
+	prevAddrs  []simnet.Addr
 
 	victims []Victim
 	strikes int
@@ -214,6 +220,7 @@ func NewEngine(sim *eventsim.Simulator, cfg Config, pop Population) (*Engine, er
 			return nil, err
 		}
 		e.conn = conn
+		e.connBinder = connectivity.NewIncrementalBinder(conn)
 	}
 	return e, nil
 }

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 
 	"kadre/internal/connectivity"
@@ -73,7 +74,13 @@ func selectDegree(s *snapshot.Snapshot, count int) []int {
 // analyzer sample with no evaluable pair) falls back to the degree
 // strategy entirely.
 func (e *Engine) selectCutset(s *snapshot.Snapshot, count int) []int {
-	e.conn.Bind(s.Graph)
+	// Vertex identity across reconnaissance snapshots: same live nodes in
+	// the same order iff the address lists match (strikes usually change
+	// membership, but budget-exhausted or failed removals leave it
+	// intact, and then the recon analysis rebinds incrementally).
+	same := slices.Equal(e.prevAddrs, s.Addrs)
+	e.connBinder.BindNext(s.Graph, same)
+	e.prevAddrs = append(e.prevAddrs[:0], s.Addrs...)
 	cut, _, ok, err := e.conn.GraphCut(connectivity.Query{
 		SampleFraction: e.cfg.SampleFraction,
 	})

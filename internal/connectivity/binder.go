@@ -1,0 +1,70 @@
+package connectivity
+
+import "kadre/internal/graph"
+
+// IncrementalBinder drives one Engine across a sequence of snapshot
+// graphs, taking the incremental Rebind path whenever the caller vouches
+// that vertex identity carried over from the previous snapshot, and the
+// full Bind path otherwise. It owns the previous graph reference and a
+// reused delta buffer, so the steady state — diff, patch, analyze — does
+// not allocate.
+//
+// Vertex identity is the caller's knowledge, not the binder's: snapshot
+// captures compact live nodes into dense indices, so index i means "the
+// same node" across two snapshots only if the live membership (and its
+// order) did not change in between. The scenario runner derives that from
+// the population's membership generation; the churn harness from its
+// trace. Passing sameVertices=true for snapshots whose membership
+// actually changed yields wrong analyses — the differential churn oracle
+// exists to catch exactly that class of wiring bug.
+//
+// Graphs handed to BindNext must not be mutated afterwards: the binder
+// keeps the latest one as the diff base, and the engine analyzes it.
+type IncrementalBinder struct {
+	eng   *Engine
+	prev  *graph.Digraph
+	delta graph.Delta
+
+	incremental int
+	full        int
+}
+
+// NewIncrementalBinder wraps eng. Once a binder drives an engine, ALL
+// binding must go through BindNext: a direct Engine.Bind (or Rebind) in
+// between is invisible to the binder, so its next diff would be computed
+// against the wrong base graph and patched onto the wrong binding —
+// silently wrong analyses. Queries on the engine between BindNext calls
+// are fine.
+func NewIncrementalBinder(eng *Engine) *IncrementalBinder {
+	return &IncrementalBinder{eng: eng}
+}
+
+// Engine returns the wrapped engine, for running queries after BindNext.
+func (b *IncrementalBinder) Engine() *Engine { return b.eng }
+
+// BindNext binds g, incrementally when possible, and reports whether the
+// incremental path was taken. sameVertices declares that g's vertex
+// indices denote the same nodes, in the same order, as the previously
+// bound graph's.
+func (b *IncrementalBinder) BindNext(g *graph.Digraph, sameVertices bool) bool {
+	inc := false
+	if sameVertices && b.prev != nil && b.prev.N() == g.N() {
+		graph.DiffInto(b.prev, g, &b.delta)
+		inc = b.eng.Rebind(g, b.delta)
+	} else {
+		b.eng.Bind(g)
+	}
+	b.prev = g
+	if inc {
+		b.incremental++
+	} else {
+		b.full++
+	}
+	return inc
+}
+
+// IncrementalBinds reports how many BindNext calls took the Rebind path.
+func (b *IncrementalBinder) IncrementalBinds() int { return b.incremental }
+
+// FullBinds reports how many BindNext calls fell back to a full Bind.
+func (b *IncrementalBinder) FullBinds() int { return b.full }

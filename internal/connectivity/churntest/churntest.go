@@ -1,0 +1,346 @@
+// Package churntest is the differential churn oracle: it pins the
+// incremental snapshot-connectivity path (graph deltas patched into a
+// long-lived engine via Rebind) to the from-scratch reference (a fresh
+// engine bound per snapshot) over randomized churn traces.
+//
+// A trace models exactly the membership dynamics of the scenario runner:
+// routing-table edge churn between snapshots, node joins appended in join
+// order, random departures, and adversarial strikes that remove the
+// highest-degree nodes. After every step the live membership is compacted
+// into a dense graph the way snapshot.Capture compacts live nodes, the
+// incremental engines rebind (incrementally when membership is unchanged,
+// fully otherwise), the reference recomputes from scratch, and every
+// answer — the fused Min/Avg snapshot analysis, the deterministic
+// MinPair, and the minimum vertex cut — must be identical. Because the
+// incremental path replaces exact recomputation with in-place reuse, this
+// equivalence IS the correctness argument; the harness runs under -race
+// with both a serial and a wide worker pool.
+package churntest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+
+	"kadre/internal/connectivity"
+	"kadre/internal/graph"
+)
+
+// Options parameterizes one oracle run.
+type Options struct {
+	// Seed drives every random choice of the trace.
+	Seed int64
+	// Initial is the starting node count.
+	Initial int
+	// Steps is the number of churn steps (snapshots) to replay.
+	Steps int
+	// Degree is the target out-degree when wiring new nodes.
+	Degree int
+	// Workers lists the engine worker pools replayed incrementally; every
+	// pool must agree with the from-scratch reference (and hence with
+	// every other pool). Typically {1, 8}.
+	Workers []int
+	// SampleFraction is the analysis sampling c; 0 means 0.5 (high enough
+	// to keep tiny traces informative).
+	SampleFraction float64
+	// edgeChurnOnly restricts the trace to routing-table churn, pinning
+	// the all-incremental steady state (test hook).
+	edgeChurnOnly bool
+}
+
+// Stats reports what a successful run exercised.
+type Stats struct {
+	// IncrementalBinds and FullBinds count the binding paths taken by
+	// each incremental engine (identical across worker counts).
+	IncrementalBinds int
+	FullBinds        int
+	// Joins, Leaves, Strikes and EdgeChurn count trace events.
+	Joins, Leaves, Strikes, EdgeChurn int
+}
+
+// trace is the evolving network: node identities in join order (the
+// analogue of the scenario population's nodes slice filtered to live
+// ones) and directed edges between them.
+type trace struct {
+	rng    *rand.Rand
+	nextID int
+	alive  []int
+	edges  map[[2]int]bool
+	// removedPool remembers recently deleted edges so additions revive
+	// old (node, node) pairs often — the tombstone/revive hot path of the
+	// in-place solver patching.
+	removedPool [][2]int
+	degree      int
+}
+
+func newTrace(seed int64, initial, degree int) *trace {
+	t := &trace{
+		rng:    rand.New(rand.NewSource(seed)),
+		edges:  map[[2]int]bool{},
+		degree: degree,
+	}
+	for i := 0; i < initial; i++ {
+		t.join()
+	}
+	return t
+}
+
+// join adds one node and wires it into the network both ways, like a
+// Kademlia join populating routing tables.
+func (t *trace) join() {
+	id := t.nextID
+	t.nextID++
+	t.alive = append(t.alive, id)
+	for d := 0; d < t.degree && len(t.alive) > 1; d++ {
+		other := t.alive[t.rng.Intn(len(t.alive))]
+		if other == id {
+			continue
+		}
+		t.edges[[2]int{id, other}] = true
+		if t.rng.Float64() < 0.9 {
+			t.edges[[2]int{other, id}] = true
+		}
+	}
+}
+
+// remove deletes the node at position idx of the alive list together
+// with its incident edges.
+func (t *trace) remove(idx int) {
+	id := t.alive[idx]
+	t.alive = slices.Delete(t.alive, idx, idx+1)
+	for e := range t.edges {
+		if e[0] == id || e[1] == id {
+			delete(t.edges, e)
+		}
+	}
+}
+
+// strike removes the highest-degree node (ties to the smaller id), the
+// deterministic stand-in for an adversarial victim choice.
+func (t *trace) strike() {
+	if len(t.alive) <= 2 {
+		return
+	}
+	deg := map[int]int{}
+	for e := range t.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	best := 0
+	for i, id := range t.alive {
+		if deg[id] > deg[t.alive[best]] || (deg[id] == deg[t.alive[best]] && id < t.alive[best]) {
+			best = i
+		}
+	}
+	t.remove(best)
+}
+
+// edgeChurn applies a handful of routing-table updates: removals feed the
+// removed pool, additions drain it about half the time (reviving old
+// edges) and invent fresh pairs otherwise. The edge set is snapshotted
+// and sorted ONCE per call (map iteration order would be
+// nondeterministic), so a call costs O(E log E + changes), not
+// O(changes * E log E) — the nightly soak replays long traces.
+func (t *trace) edgeChurn(changes int) {
+	keys := make([][2]int, 0, len(t.edges))
+	for e := range t.edges {
+		keys = append(keys, e)
+	}
+	slices.SortFunc(keys, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	for c := 0; c < changes; c++ {
+		if t.rng.Float64() < 0.5 && len(keys) > 0 {
+			// Remove a uniform draw from the sorted snapshot (swap-delete
+			// keeps later draws uniform over the remaining edges).
+			i := t.rng.Intn(len(keys))
+			e := keys[i]
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			delete(t.edges, e)
+			t.removedPool = append(t.removedPool, e)
+		} else {
+			var e [2]int
+			if len(t.removedPool) > 0 && t.rng.Float64() < 0.5 {
+				i := t.rng.Intn(len(t.removedPool))
+				e = t.removedPool[i]
+				t.removedPool = slices.Delete(t.removedPool, i, i+1)
+				if !t.liveEdge(e) {
+					continue
+				}
+			} else if len(t.alive) >= 2 {
+				u := t.alive[t.rng.Intn(len(t.alive))]
+				v := t.alive[t.rng.Intn(len(t.alive))]
+				if u == v {
+					continue
+				}
+				e = [2]int{u, v}
+			} else {
+				continue
+			}
+			t.edges[e] = true
+		}
+	}
+}
+
+// liveEdge reports whether both endpoints are alive.
+func (t *trace) liveEdge(e [2]int) bool {
+	return slices.Contains(t.alive, e[0]) && slices.Contains(t.alive, e[1])
+}
+
+// compact builds the dense snapshot graph: vertex i is the i-th alive
+// node in join order, exactly snapshot.Capture's compaction.
+func (t *trace) compact() *graph.Digraph {
+	index := make(map[int]int, len(t.alive))
+	for i, id := range t.alive {
+		index[id] = i
+	}
+	g := graph.NewDigraph(len(t.alive))
+	for e := range t.edges {
+		u, uok := index[e[0]]
+		v, vok := index[e[1]]
+		if uok && vok && u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// incSide is one incremental engine under test.
+type incSide struct {
+	workers int
+	binder  *connectivity.IncrementalBinder
+}
+
+// Run replays one randomized churn trace through the incremental engines
+// and the from-scratch reference, comparing every answer at every step.
+// It returns the first divergence as an error, or the run's stats.
+func Run(opts Options) (Stats, error) {
+	if opts.SampleFraction == 0 {
+		opts.SampleFraction = 0.5
+	}
+	if len(opts.Workers) == 0 {
+		opts.Workers = []int{1, 8}
+	}
+	var stats Stats
+	tr := newTrace(opts.Seed, opts.Initial, opts.Degree)
+	sides := make([]incSide, len(opts.Workers))
+	for i, w := range opts.Workers {
+		sides[i] = incSide{
+			workers: w,
+			binder:  connectivity.NewIncrementalBinder(connectivity.MustNewEngine(connectivity.EngineOptions{Workers: w})),
+		}
+	}
+	prevAlive := []int(nil)
+	bound := false
+
+	for step := 0; step < opts.Steps; step++ {
+		// Mutate: mostly edge churn, occasionally membership events.
+		switch r := tr.rng.Float64(); {
+		case opts.edgeChurnOnly || r < 0.70:
+			tr.edgeChurn(1 + tr.rng.Intn(2*tr.degree))
+			stats.EdgeChurn++
+		case r < 0.80:
+			tr.join()
+			stats.Joins++
+		case r < 0.90:
+			if len(tr.alive) > 2 {
+				tr.remove(tr.rng.Intn(len(tr.alive)))
+			}
+			stats.Leaves++
+		default:
+			tr.strike()
+			stats.Strikes++
+		}
+
+		g := tr.compact()
+		if g.N() <= 1 {
+			continue
+		}
+		same := bound && slices.Equal(prevAlive, tr.alive)
+		prevAlive = append(prevAlive[:0], tr.alive...)
+		bound = true
+
+		// Reference: a fresh engine bound from scratch — the exact
+		// recomputation the incremental path claims to reproduce.
+		ref := connectivity.MustNewEngine(connectivity.EngineOptions{Workers: 1})
+		ref.Bind(g)
+		wantSnap := ref.AnalyzeSnapshot(connectivity.SnapshotQuery{
+			SampleFraction: opts.SampleFraction, AvgSeed: int64(step),
+		})
+		wantMin := ref.Analyze(connectivity.Query{
+			SampleFraction: opts.SampleFraction, MinOnly: true,
+		})
+		wantCut, wantPair, wantOK, err := ref.GraphCut(connectivity.Query{SampleFraction: opts.SampleFraction})
+		if err != nil {
+			return stats, fmt.Errorf("step %d: reference GraphCut: %w", step, err)
+		}
+
+		firstInc := false
+		for i := range sides {
+			s := &sides[i]
+			inc := s.binder.BindNext(g, same)
+			if i == 0 {
+				firstInc = inc
+			} else if inc != firstInc {
+				return stats, fmt.Errorf("step %d: workers=%d took incremental=%v, workers=%d took %v",
+					step, sides[0].workers, firstInc, s.workers, inc)
+			}
+			eng := s.binder.Engine()
+			gotSnap := eng.AnalyzeSnapshot(connectivity.SnapshotQuery{
+				SampleFraction: opts.SampleFraction, AvgSeed: int64(step),
+			})
+			if err := equalResults("snapshot.Min", gotSnap.Min, wantSnap.Min); err != nil {
+				return stats, stepErr(step, s.workers, inc, err)
+			}
+			if err := equalResults("snapshot.Avg", gotSnap.Avg, wantSnap.Avg); err != nil {
+				return stats, stepErr(step, s.workers, inc, err)
+			}
+			gotMin := eng.Analyze(connectivity.Query{
+				SampleFraction: opts.SampleFraction, MinOnly: true,
+			})
+			if err := equalResults("minpair analysis", gotMin, wantMin); err != nil {
+				return stats, stepErr(step, s.workers, inc, err)
+			}
+			gotCut, gotPair, gotOK, err := eng.GraphCut(connectivity.Query{SampleFraction: opts.SampleFraction})
+			if err != nil {
+				return stats, stepErr(step, s.workers, inc, fmt.Errorf("GraphCut: %w", err))
+			}
+			if gotOK != wantOK || gotPair != wantPair || !slices.Equal(gotCut, wantCut) {
+				return stats, stepErr(step, s.workers, inc, fmt.Errorf(
+					"GraphCut: got cut=%v pair=%v ok=%v, want cut=%v pair=%v ok=%v",
+					gotCut, gotPair, gotOK, wantCut, wantPair, wantOK))
+			}
+			if fb := eng.RebindFallbacks(); fb != 0 {
+				return stats, stepErr(step, s.workers, inc, fmt.Errorf("%d rebind patch fallbacks (tombstone/revive should cover same-membership churn)", fb))
+			}
+		}
+		if firstInc {
+			stats.IncrementalBinds++
+		} else {
+			stats.FullBinds++
+		}
+	}
+	return stats, nil
+}
+
+func stepErr(step, workers int, incremental bool, err error) error {
+	return fmt.Errorf("step %d (workers=%d, incremental=%v): %w", step, workers, incremental, err)
+}
+
+// equalResults compares every field the pipeline consumes. Avg is
+// compared bitwise (both sides divide identical integer sums), with NaN
+// equal to NaN.
+func equalResults(label string, got, want connectivity.Result) error {
+	if got.N != want.N || got.Min != want.Min || got.Pairs != want.Pairs ||
+		got.Sources != want.Sources || got.Complete != want.Complete ||
+		got.MinPair != want.MinPair ||
+		math.Float64bits(got.Avg) != math.Float64bits(want.Avg) {
+		return fmt.Errorf("%s: got %+v, want %+v", label, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package churntest
+
+import "testing"
+
+// TestDifferentialChurnOracle is the PR-gate harness: randomized churn
+// traces (edge churn, joins, leaves, adversarial strikes) replayed
+// through the incremental engine at jobs=1 and jobs=8 against the
+// from-scratch reference, asserting identical Min/Avg/MinPair/cut
+// answers at every step. It runs under -race in CI; the slowtest-tagged
+// variant replays longer traces on larger networks.
+func TestDifferentialChurnOracle(t *testing.T) {
+	for _, tc := range []Options{
+		{Seed: 1, Initial: 24, Steps: 40, Degree: 4},
+		{Seed: 2, Initial: 32, Steps: 30, Degree: 6},
+		{Seed: 3, Initial: 8, Steps: 50, Degree: 3}, // tiny: hits n<=2 edge cases
+	} {
+		stats, err := Run(tc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.Seed, err)
+		}
+		t.Logf("seed %d: %+v", tc.Seed, stats)
+		if stats.IncrementalBinds == 0 {
+			t.Fatalf("seed %d: trace never took the incremental path (stats %+v)", tc.Seed, stats)
+		}
+		if stats.FullBinds == 0 {
+			t.Fatalf("seed %d: trace never took the full-bind path (stats %+v)", tc.Seed, stats)
+		}
+	}
+}
+
+// TestOracleStableMembershipOnlyRebinds pins the binder contract from the
+// other side: a trace with edge churn only (no joins, leaves or strikes
+// after the first binding) must rebind incrementally at every step after
+// the first.
+func TestOracleStableMembershipOnlyRebinds(t *testing.T) {
+	stats, err := Run(Options{Seed: 7, Initial: 20, Steps: 25, Degree: 4, edgeChurnOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FullBinds != 1 || stats.IncrementalBinds != stats.EdgeChurn-1 {
+		t.Fatalf("stable membership: want 1 full bind and %d incremental, got %+v",
+			stats.EdgeChurn-1, stats)
+	}
+}

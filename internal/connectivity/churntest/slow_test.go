@@ -1,0 +1,26 @@
+//go:build slowtest
+
+package churntest
+
+import "testing"
+
+// TestDifferentialChurnOracleLong is the nightly-length oracle: longer
+// traces on larger networks, beyond what the PR gate affords. Build with
+// -tags slowtest (the nightly CI job runs it under -race).
+func TestDifferentialChurnOracleLong(t *testing.T) {
+	for _, tc := range []Options{
+		{Seed: 11, Initial: 80, Steps: 150, Degree: 8},
+		{Seed: 12, Initial: 120, Steps: 100, Degree: 10},
+		{Seed: 13, Initial: 60, Steps: 250, Degree: 6},
+		{Seed: 14, Initial: 40, Steps: 200, Degree: 5, SampleFraction: 1.0},
+	} {
+		stats, err := Run(tc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.Seed, err)
+		}
+		t.Logf("seed %d: %+v", tc.Seed, stats)
+		if stats.IncrementalBinds == 0 || stats.FullBinds == 0 {
+			t.Fatalf("seed %d: trace did not exercise both binding paths: %+v", tc.Seed, stats)
+		}
+	}
+}

@@ -14,18 +14,17 @@ import (
 // EngineOptions configures an Engine.
 type EngineOptions struct {
 	// Algorithm solves the pruned (running-minimum-capped) sweep
-	// queries. The zero value means PushRelabel: its same-source warm
-	// start (see maxflow.PushRelabelSolver) makes it the fastest capped
-	// sweeper, ~25% ahead of Dinic's cached-BFS path on the snapshot
-	// benchmark. Its MaxFlowLimit may overshoot the cap (returning any
-	// value in [limit, kappa]); the sweep bookkeeping only relies on
-	// "below the cap means exact", which both solvers guarantee. Pass
-	// Dinic explicitly for stop-at-the-cap semantics.
+	// queries. The zero value means HaoOrlin: the fixed-root sweep
+	// solver (see maxflow.HaoOrlinSolver) pays no per-sink global
+	// relabel, ~3x ahead of the warm-start push-relabel path on the
+	// snapshot benchmark. Its MaxFlowLimit may overshoot the cap
+	// (returning any value in [limit, kappa]); the sweep bookkeeping
+	// only relies on "below the cap means exact", which every solver
+	// guarantees. Pass Dinic explicitly for stop-at-the-cap semantics.
 	Algorithm maxflow.Algorithm
 	// ExactAlgorithm solves exact (uncapped) sweep queries — the Avg
-	// sweeps and full analyses. The zero value means PushRelabel, which
-	// is ~2x faster than Dinic per exact query on Even-transformed
-	// graphs; the flow values are identical either way.
+	// sweeps and full analyses. The zero value means HaoOrlin; the flow
+	// values are identical with any solver.
 	ExactAlgorithm maxflow.Algorithm
 	// Workers bounds the sweep worker pool; <= 0 means GOMAXPROCS. Each
 	// worker owns private solvers, replacing the paper's cluster fan-out.
@@ -92,11 +91,22 @@ type Engine struct {
 	evenSrc unitEdgeSource
 	cutSrc  cutEdgeSource
 	gen     uint64 // binding generation; solvers rebind lazily
+	// evenDirty marks the Even edge list stale after a Rebind: patched
+	// solvers never read it, so it is rebuilt lazily — and only serially,
+	// before workers spawn — for solvers that need a full Reset.
+	evenDirty bool
 
 	workers   []engineWorker
 	cutSolver *maxflow.DinicSolver
 	cutGen    uint64
 	cutBuilds int
+
+	// Rebind bookkeeping: reused Even-space delta adapters and the
+	// counters the regression tests pin.
+	addSrc, remSrc       evenDeltaSource
+	cutAddSrc, cutRemSrc evenDeltaSource
+	rebinds              int
+	rebindFallbacks      int
 
 	// Selection and sweep scratch, reused across bindings.
 	rng      *rand.Rand
@@ -171,13 +181,29 @@ func (s *cutEdgeSource) EdgeAt(i int) (int, int, int32) {
 	return e.U, e.V, s.big
 }
 
+// evenDeltaSource presents an original-space edge delta in Even-transform
+// coordinates with a fixed capacity — 1 for the sweep solvers, the cut
+// network's big capacity for the cut solver. Only original edges appear
+// in deltas (internal edges exist iff the vertex does, and Rebind keeps
+// the vertex set), so the (Out(u), In(v)) shape is always right.
+type evenDeltaSource struct {
+	edges []graph.Edge
+	cap   int32
+}
+
+func (s *evenDeltaSource) NumEdges() int { return len(s.edges) }
+func (s *evenDeltaSource) EdgeAt(i int) (int, int, int32) {
+	e := s.edges[i]
+	return graph.Out(e.U), graph.In(e.V), s.cap
+}
+
 // NewEngine validates options and returns an unbound Engine.
 func NewEngine(opts EngineOptions) (*Engine, error) {
 	if opts.Algorithm == 0 {
-		opts.Algorithm = maxflow.PushRelabel
+		opts.Algorithm = maxflow.HaoOrlin
 	}
 	if opts.ExactAlgorithm == 0 {
-		opts.ExactAlgorithm = maxflow.PushRelabel
+		opts.ExactAlgorithm = maxflow.HaoOrlin
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -209,7 +235,91 @@ func (e *Engine) Bind(g *graph.Digraph) {
 	e.even = g.AppendEvenEdges(e.even[:0])
 	e.evenSrc.edges = e.even
 	e.cutSrc = cutEdgeSource{edges: e.even, internal: e.n, big: int32(e.n + 1)}
+	e.evenDirty = false
 	e.gen++
+}
+
+// Rebind points the engine at g incrementally: g must be the currently
+// bound graph plus delta (same vertex count, same vertex identity —
+// cur = old - delta.Removed + delta.Added, as graph.DiffInto computes).
+// Instead of rebuilding the Even transform and re-initializing every
+// solver, Rebind patches each live solver's arc layout in place and
+// invalidates only the query-level caches the delta poisons (Dinic's
+// prepared-source BFS, push-relabel's warm-start preflow, the sweep
+// solver's root labels). Tombstoned arc slots preserve traversal order,
+// so analyses after a Rebind are bit-identical to analyses after a full
+// Bind of the same graph — the differential churn harness holds the two
+// paths to that contract.
+//
+// With no previous binding or a different vertex count, Rebind falls back
+// to Bind and reports false. A solver whose patch fails (an added edge
+// with no tombstoned slot to revive) is left on the old generation and
+// lazily re-initialized from the rebuilt Even list on next use; the
+// engine stays consistent either way.
+func (e *Engine) Rebind(g *graph.Digraph, delta graph.Delta) bool {
+	if e.g == nil || g.N() != e.n {
+		e.Bind(g)
+		return false
+	}
+	e.g = g
+	prevGen := e.gen
+	e.gen++
+	e.evenDirty = true
+	e.rebinds++
+	e.addSrc = evenDeltaSource{edges: delta.Added, cap: 1}
+	e.remSrc = evenDeltaSource{edges: delta.Removed, cap: 1}
+	for i := range e.workers {
+		w := &e.workers[i]
+		if w.capped != nil && w.cappedGen == prevGen {
+			if a, ok := w.capped.(maxflow.UnitDeltaApplier); ok && a.ApplyUnitDelta(&e.addSrc, &e.remSrc) {
+				w.cappedGen = e.gen
+			} else {
+				e.rebindFallbacks++
+			}
+		}
+		if w.exact != nil && w.exactGen == prevGen {
+			if a, ok := w.exact.(maxflow.UnitDeltaApplier); ok && a.ApplyUnitDelta(&e.addSrc, &e.remSrc) {
+				w.exactGen = e.gen
+			} else {
+				e.rebindFallbacks++
+			}
+		}
+	}
+	// The cut-mode network revives original edges at the big capacity
+	// that keeps minimum cuts on internal edges.
+	if e.cutSolver != nil && e.cutGen == prevGen {
+		e.cutAddSrc = evenDeltaSource{edges: delta.Added, cap: e.cutSrc.big}
+		e.cutRemSrc = evenDeltaSource{edges: delta.Removed, cap: e.cutSrc.big}
+		if e.cutSolver.ApplyUnitDelta(&e.cutAddSrc, &e.cutRemSrc) {
+			e.cutGen = e.gen
+		} else {
+			e.rebindFallbacks++
+		}
+		e.cutAddSrc.edges, e.cutRemSrc.edges = nil, nil
+	}
+	e.addSrc.edges, e.remSrc.edges = nil, nil
+	return true
+}
+
+// Rebinds reports how many incremental rebinds the engine performed.
+func (e *Engine) Rebinds() int { return e.rebinds }
+
+// RebindFallbacks reports how many solver patches failed during rebinds,
+// forcing a lazy full re-initialization of that solver. The steady-state
+// regression tests pin this to zero for pure tombstone/revive churn.
+func (e *Engine) RebindFallbacks() int { return e.rebindFallbacks }
+
+// ensureEven rebuilds the Even edge list after a Rebind marked it stale.
+// It must only run from the serial sections of the engine (before sweep
+// workers spawn): the sweep's solver fast paths never call it.
+func (e *Engine) ensureEven() {
+	if !e.evenDirty {
+		return
+	}
+	e.even = e.g.AppendEvenEdges(e.even[:0])
+	e.evenSrc.edges = e.even
+	e.cutSrc.edges = e.even
+	e.evenDirty = false
 }
 
 // CutNetworkBuilds reports how many times the engine constructed its
@@ -225,18 +335,22 @@ func (e *Engine) solverFor(w int, exact bool) maxflow.Solver {
 	ew := &e.workers[w]
 	if exact {
 		if ew.exact == nil {
+			e.ensureEven()
 			ew.exact = e.exactAlgo.NewSolverSource(2*e.n, &e.evenSrc)
 			ew.exactGen = e.gen
 		} else if ew.exactGen != e.gen {
+			e.ensureEven()
 			ew.exact.Reset(2*e.n, &e.evenSrc)
 			ew.exactGen = e.gen
 		}
 		return ew.exact
 	}
 	if ew.capped == nil {
+		e.ensureEven()
 		ew.capped = e.algo.NewSolverSource(2*e.n, &e.evenSrc)
 		ew.cappedGen = e.gen
 	} else if ew.cappedGen != e.gen {
+		e.ensureEven()
 		ew.capped.Reset(2*e.n, &e.evenSrc)
 		ew.cappedGen = e.gen
 	}
@@ -349,6 +463,27 @@ func (e *Engine) runSweep(tasks []sweepTask) {
 	workers := e.maxWorkers
 	if workers > len(tasks) {
 		workers = len(tasks)
+	}
+	// Resolve every solver the sweep may touch while still serial: a
+	// stale solver's Reset reads the shared Even edge list (possibly
+	// rebuilding it after a Rebind), which must not race across workers.
+	// In the steady state — bound or patched solvers on the current
+	// generation — these calls are gen checks and nothing more.
+	needCapped, needExact := false, false
+	for _, t := range tasks {
+		if t.exact {
+			needExact = true
+		} else {
+			needCapped = true
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if needCapped {
+			e.solverFor(w, false)
+		}
+		if needExact {
+			e.solverFor(w, true)
+		}
 	}
 	if workers <= 1 {
 		e.sweepWorker(0, tasks, st)
@@ -627,10 +762,12 @@ func (e *Engine) PairCut(v, w int) ([]int, error) {
 		return nil, err
 	}
 	if e.cutSolver == nil {
+		e.ensureEven()
 		e.cutSolver = maxflow.NewDinicSource(2*e.n, &e.cutSrc)
 		e.cutGen = e.gen
 		e.cutBuilds++
 	} else if e.cutGen != e.gen {
+		e.ensureEven()
 		e.cutSolver.Reset(2*e.n, &e.cutSrc)
 		e.cutGen = e.gen
 	}

@@ -1,0 +1,165 @@
+package connectivity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kadre/internal/graph"
+)
+
+// mutateEdges returns a copy of g with `removals` random edges deleted
+// and `additions` random new edges inserted.
+func mutateEdges(r *rand.Rand, g *graph.Digraph, removals, additions int) *graph.Digraph {
+	out := g.Clone()
+	all := out.Edges()
+	for i := 0; i < removals && len(all) > 0; i++ {
+		k := r.Intn(len(all))
+		out.RemoveEdge(all[k].U, all[k].V)
+		all[k] = all[len(all)-1]
+		all = all[:len(all)-1]
+	}
+	n := out.N()
+	for i := 0; i < additions; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !out.HasEdge(u, v) {
+			out.AddEdge(u, v)
+		}
+	}
+	return out
+}
+
+func requireSameResult(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.N != want.N || got.Min != want.Min || got.Pairs != want.Pairs ||
+		got.Sources != want.Sources || got.Complete != want.Complete ||
+		got.MinPair != want.MinPair ||
+		math.Float64bits(got.Avg) != math.Float64bits(want.Avg) {
+		t.Fatalf("%s: rebind path %+v, fresh bind path %+v", label, got, want)
+	}
+}
+
+// TestRebindMatchesBind walks one engine through a chain of edge-mutated
+// graphs via Rebind and checks every analysis against a second engine
+// that full-Binds each graph — the engine-level differential oracle
+// (churntest replays the same contract against membership churn too).
+func TestRebindMatchesBind(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g := randomSymmetricGraph(5, 50, 400)
+	inc := MustNewEngine(EngineOptions{Workers: 2})
+	ref := MustNewEngine(EngineOptions{Workers: 2})
+	inc.Bind(g)
+	var delta graph.Delta
+	for step := 0; step < 20; step++ {
+		next := mutateEdges(r, g, 1+r.Intn(6), 1+r.Intn(6))
+		graph.DiffInto(g, next, &delta)
+		if !inc.Rebind(next, delta) {
+			t.Fatalf("step %d: Rebind refused a same-N delta", step)
+		}
+		ref.Bind(next)
+		q := SnapshotQuery{SampleFraction: 0.3, AvgSeed: int64(step)}
+		gotSnap, wantSnap := inc.AnalyzeSnapshot(q), ref.AnalyzeSnapshot(q)
+		requireSameResult(t, "snapshot.Min", gotSnap.Min, wantSnap.Min)
+		requireSameResult(t, "snapshot.Avg", gotSnap.Avg, wantSnap.Avg)
+		mq := Query{SampleFraction: 0.3, MinOnly: true}
+		requireSameResult(t, "minpair", inc.Analyze(mq), ref.Analyze(mq))
+		g = next
+	}
+	if inc.Rebinds() != 20 {
+		t.Fatalf("Rebinds = %d, want 20", inc.Rebinds())
+	}
+}
+
+// TestRebindCutPathMatchesBind pins the patched cut-mode network: the
+// minimum vertex cuts (vertex lists, pairs) after a chain of rebinds must
+// equal the from-scratch engine's, and the cut network must never be
+// rebuilt from scratch — the adversary's strike loop stays on one
+// network across arbitrarily many patched snapshots.
+func TestRebindCutPathMatchesBind(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	g := randomSymmetricGraph(6, 40, 260)
+	inc := MustNewEngine(EngineOptions{Workers: 1})
+	ref := MustNewEngine(EngineOptions{Workers: 1})
+	inc.Bind(g)
+	var delta graph.Delta
+	cuts := 0
+	for step := 0; step < 15; step++ {
+		next := mutateEdges(r, g, 1+r.Intn(4), 1+r.Intn(4))
+		graph.DiffInto(g, next, &delta)
+		inc.Rebind(next, delta)
+		ref.Bind(next)
+		q := Query{SampleFraction: 0.5}
+		gotCut, gotPair, gotOK, err := inc.GraphCut(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCut, wantPair, wantOK, err := ref.GraphCut(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK || gotPair != wantPair {
+			t.Fatalf("step %d: cut pair (%v,%v) != (%v,%v)", step, gotPair, gotOK, wantPair, wantOK)
+		}
+		if len(gotCut) != len(wantCut) {
+			t.Fatalf("step %d: cut %v != %v", step, gotCut, wantCut)
+		}
+		for i := range gotCut {
+			if gotCut[i] != wantCut[i] {
+				t.Fatalf("step %d: cut %v != %v", step, gotCut, wantCut)
+			}
+		}
+		if wantOK {
+			cuts++
+		}
+		g = next
+	}
+	if cuts == 0 {
+		t.Fatal("trace produced no usable cuts; weak test")
+	}
+	if builds := inc.CutNetworkBuilds(); builds != 1 {
+		t.Fatalf("cut network built %d times across rebinds, want 1", builds)
+	}
+}
+
+// TestRebindFallsBackOnShapeChange pins the fallback contract: a nil
+// binding or a different vertex count silently becomes a full Bind.
+func TestRebindFallsBackOnShapeChange(t *testing.T) {
+	g1 := randomSymmetricGraph(7, 30, 150)
+	g2 := randomSymmetricGraph(8, 31, 150)
+	eng := MustNewEngine(EngineOptions{Workers: 1})
+	if eng.Rebind(g1, graph.Delta{}) {
+		t.Fatal("Rebind with no previous binding must fall back")
+	}
+	ref := MustNewEngine(EngineOptions{Workers: 1})
+	ref.Bind(g1)
+	q := Query{SampleFraction: 1.0, MinOnly: true}
+	requireSameResult(t, "after nil fallback", eng.Analyze(q), ref.Analyze(q))
+	if eng.Rebind(g2, graph.Delta{}) {
+		t.Fatal("Rebind across vertex counts must fall back")
+	}
+	ref.Bind(g2)
+	requireSameResult(t, "after shape fallback", eng.Analyze(q), ref.Analyze(q))
+}
+
+// TestIncrementalBinderPaths pins the binder's routing: identical
+// membership takes Rebind, changed membership takes Bind, and the counts
+// are observable.
+func TestIncrementalBinderPaths(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	g := randomSymmetricGraph(9, 40, 240)
+	b := NewIncrementalBinder(MustNewEngine(EngineOptions{Workers: 1}))
+	if b.BindNext(g, true) {
+		t.Fatal("first bind cannot be incremental")
+	}
+	g2 := mutateEdges(r, g, 3, 3)
+	if !b.BindNext(g2, true) {
+		t.Fatal("same-membership successor should rebind incrementally")
+	}
+	g3 := randomSymmetricGraph(10, 39, 240) // membership changed
+	if b.BindNext(g3, false) {
+		t.Fatal("membership change must full-bind")
+	}
+	if b.IncrementalBinds() != 1 || b.FullBinds() != 2 {
+		t.Fatalf("binder counters: incremental=%d full=%d, want 1/2", b.IncrementalBinds(), b.FullBinds())
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+)
+
+// Delta is the edge difference between two digraphs over the same vertex
+// set: cur = old - Removed + Added. It is the currency of incremental
+// snapshot connectivity — adjacent snapshots of a stable membership
+// window differ by a handful of routing-table edges, and feeding the
+// difference to the analysis engine lets it patch its bound state in
+// place instead of rebuilding per snapshot.
+type Delta struct {
+	Added   []Edge
+	Removed []Edge
+}
+
+// Reset empties the delta, keeping the backing arrays for reuse.
+func (d *Delta) Reset() {
+	d.Added = d.Added[:0]
+	d.Removed = d.Removed[:0]
+}
+
+// Len returns the total number of edge changes.
+func (d *Delta) Len() int { return len(d.Added) + len(d.Removed) }
+
+// DiffInto computes the edge delta from old to cur into d, reusing d's
+// backing arrays (steady-state calls do not allocate once the arrays have
+// grown to the churn's working size). Both lists come out sorted by
+// (U, V), so equal graphs and equal diffs compare bytewise. The graphs
+// must have the same vertex count — vertex identity across snapshots is
+// the caller's contract — and DiffInto panics otherwise, because a diff
+// between different vertex sets is meaningless rather than merely empty.
+func DiffInto(old, cur *Digraph, d *Delta) {
+	if old.N() != cur.N() {
+		panic(fmt.Sprintf("graph: DiffInto over different vertex counts %d != %d", old.N(), cur.N()))
+	}
+	d.Reset()
+	for u := 0; u < old.n; u++ {
+		for v := range old.adj[u] {
+			if _, ok := cur.adj[u][v]; !ok {
+				d.Removed = append(d.Removed, Edge{U: u, V: int(v)})
+			}
+		}
+		for v := range cur.adj[u] {
+			if _, ok := old.adj[u][v]; !ok {
+				d.Added = append(d.Added, Edge{U: u, V: int(v)})
+			}
+		}
+	}
+	sortEdges(d.Added)
+	sortEdges(d.Removed)
+}
+
+func sortEdges(edges []Edge) {
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.U != b.U {
+			return cmp.Compare(a.U, b.U)
+		}
+		return cmp.Compare(a.V, b.V)
+	})
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestRemoveEdge(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge(0,1) on existing edge = false")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge(0,1) twice = true")
+	}
+	if g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.M() != 1 {
+		t.Fatalf("after removal: HasEdge(0,1)=%v HasEdge(1,2)=%v M=%d", g.HasEdge(0, 1), g.HasEdge(1, 2), g.M())
+	}
+}
+
+func TestDiffInto(t *testing.T) {
+	old := NewDigraph(4)
+	old.AddEdge(0, 1)
+	old.AddEdge(1, 2)
+	old.AddEdge(2, 3)
+	cur := old.Clone()
+	cur.RemoveEdge(1, 2)
+	cur.AddEdge(3, 0)
+	cur.AddEdge(0, 2)
+	var d Delta
+	DiffInto(old, cur, &d)
+	if !slices.Equal(d.Added, []Edge{{0, 2}, {3, 0}}) {
+		t.Fatalf("Added = %v", d.Added)
+	}
+	if !slices.Equal(d.Removed, []Edge{{1, 2}}) {
+		t.Fatalf("Removed = %v", d.Removed)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Applying the delta to old must reproduce cur; an empty diff follows.
+	for _, e := range d.Removed {
+		old.RemoveEdge(e.U, e.V)
+	}
+	for _, e := range d.Added {
+		old.AddEdge(e.U, e.V)
+	}
+	DiffInto(old, cur, &d)
+	if d.Len() != 0 {
+		t.Fatalf("diff after applying delta = %+v, want empty", d)
+	}
+}
+
+func TestDiffIntoDeterministicAndReusing(t *testing.T) {
+	mk := func(seed int64) *Digraph {
+		rr := rand.New(rand.NewSource(seed))
+		g := NewDigraph(30)
+		for i := 0; i < 200; i++ {
+			u, v := rr.Intn(30), rr.Intn(30)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		return g
+	}
+	a, b := mk(1), mk(2)
+	var d1, d2 Delta
+	DiffInto(a, b, &d1)
+	DiffInto(a, b, &d2)
+	if !slices.Equal(d1.Added, d2.Added) || !slices.Equal(d1.Removed, d2.Removed) {
+		t.Fatal("DiffInto is not deterministic across calls")
+	}
+	// Sorted output: deterministic regardless of adjacency iteration.
+	if !slices.IsSortedFunc(d1.Added, func(x, y Edge) int {
+		if x.U != y.U {
+			return x.U - y.U
+		}
+		return x.V - y.V
+	}) {
+		t.Fatalf("Added not sorted: %v", d1.Added)
+	}
+}
+
+func TestDiffIntoPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DiffInto across vertex counts did not panic")
+		}
+	}()
+	var d Delta
+	DiffInto(NewDigraph(3), NewDigraph(4), &d)
+}

@@ -53,6 +53,20 @@ func (g *Digraph) AddEdge(u, v int) {
 	g.m++
 }
 
+// RemoveEdge deletes the directed edge (u, v) if present and reports
+// whether it existed. Removing an absent edge is a no-op, mirroring
+// AddEdge's idempotence.
+func (g *Digraph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if _, ok := g.adj[u][int32(v)]; !ok {
+		return false
+	}
+	delete(g.adj[u], int32(v))
+	g.m--
+	return true
+}
+
 // HasEdge reports whether the directed edge (u, v) exists.
 func (g *Digraph) HasEdge(u, v int) bool {
 	g.check(u)

@@ -9,9 +9,9 @@ import "fmt"
 // MaxFlowLimit stops exactly at the cap (the flow counter rises one
 // augmenting path at a time), and its residual-reachability API is what
 // cut extraction needs — the cut-mode network is always Dinic. For the
-// sweeps themselves, push-relabel's same-source warm start wins on
-// wall-clock (see BenchmarkMaxflowAlgorithms and the engine defaults);
-// Dinic remains the choice for exact cap semantics, single-pair queries
+// sweeps themselves, the fixed-root HaoOrlinSolver wins on wall-clock
+// (see BenchmarkMaxflowAlgorithms and the engine defaults); Dinic
+// remains the choice for exact cap semantics, single-pair queries
 // (connectivity.Pair's default), and cut extraction.
 //
 // Two sweep-oriented optimizations apply on top of the textbook
@@ -64,6 +64,18 @@ func (d *DinicSolver) Reset(n int, edges EdgeSource) {
 // N implements Solver.
 func (d *DinicSolver) N() int { return d.st.n }
 
+// ApplyUnitDelta implements UnitDeltaApplier: it patches the bound graph
+// in place (tombstoning removed edges, reviving added ones) and drops the
+// cached source BFS, whose levels depend on the whole graph.
+func (d *DinicSolver) ApplyUnitDelta(added, removed EdgeSource) bool {
+	d.st.resetTouched()
+	if !d.st.applyDelta(added, removed, false) {
+		return false
+	}
+	d.preparedSrc = -1
+	return true
+}
+
 // PrepareSource implements Solver: it runs one full BFS from s on the
 // fresh residual graph and caches the level array. Subsequent
 // MaxFlow/MaxFlowLimit queries from s skip their first-phase BFS — on a
@@ -82,7 +94,7 @@ func (d *DinicSolver) PrepareSource(s int) {
 	d.queue = append(d.queue, int32(s))
 	for head := 0; head < len(d.queue); head++ {
 		u := d.queue[head]
-		for a := d.st.first[u]; a < d.st.first[u+1]; a++ {
+		for a := d.st.first[u]; a < d.st.last[u]; a++ {
 			v := d.st.to[a]
 			if d.st.cap[a] > 0 && lv[v] < 0 {
 				lv[v] = lv[u] + 1
@@ -108,7 +120,7 @@ func (d *DinicSolver) ResidualReachable(s int) []bool {
 	d.queue = append(d.queue, int32(s))
 	for head := 0; head < len(d.queue); head++ {
 		u := d.queue[head]
-		for a := d.st.first[u]; a < d.st.first[u+1]; a++ {
+		for a := d.st.first[u]; a < d.st.last[u]; a++ {
 			v := d.st.to[a]
 			if d.st.cap[a] > 0 && !seen[v] {
 				seen[v] = true
@@ -177,7 +189,7 @@ func (d *DinicSolver) bfs(s, t int32) bool {
 	d.queue = append(d.queue, s)
 	for head := 0; head < len(d.queue); head++ {
 		u := d.queue[head]
-		for a := d.st.first[u]; a < d.st.first[u+1]; a++ {
+		for a := d.st.first[u]; a < d.st.last[u]; a++ {
 			v := d.st.to[a]
 			if d.st.cap[a] > 0 && d.level[v] < 0 {
 				d.level[v] = d.level[u] + 1
@@ -214,7 +226,7 @@ func (d *DinicSolver) dfs(s, t int32) int {
 			return int(bottleneck)
 		}
 		advanced := false
-		for d.iter[u] < d.st.first[u+1] {
+		for d.iter[u] < d.st.last[u] {
 			a := d.iter[u]
 			v := d.st.to[a]
 			if d.st.cap[a] > 0 && d.level[v] == d.level[u]+1 {

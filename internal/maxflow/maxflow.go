@@ -1,11 +1,14 @@
 // Package maxflow implements maximum-flow solvers for the connectivity
 // pipeline: Dinic's algorithm (asymptotically optimal on the unit-capacity
-// graphs produced by Even's transformation, O(E*sqrt(V))) and a HIPR-style
+// graphs produced by Even's transformation, O(E*sqrt(V))), a HIPR-style
 // highest-label push-relabel algorithm with gap and global-relabeling
 // heuristics, mirroring the solver the paper used (Cherkassky & Goldberg's
-// HIPR). Both solvers are reusable at three levels, extending the paper's
-// modified HIPR — which was rebuilt once per graph and answered many
-// vertex-pair queries per invocation:
+// HIPR), and a Hao-Orlin-inspired fixed-root sweep solver (HaoOrlinSolver,
+// the connectivity engine's default) that amortizes the distance labels of
+// a one-source/all-sinks sweep to one search per source. The solvers are
+// reusable at four levels, extending the paper's modified HIPR — which was
+// rebuilt once per graph and answered many vertex-pair queries per
+// invocation:
 //
 //   - across queries: a solver answers many (source, target) queries on
 //     its graph, restoring only the residual capacities each query touched
@@ -17,7 +20,14 @@
 //   - across graphs: Reset re-binds a solver to a new edge list in place,
 //     reusing every internal array whose capacity suffices, so sweeping
 //     analyses pay for allocation once per graph *shape* rather than once
-//     per snapshot.
+//     per snapshot;
+//   - across snapshots: ApplyUnitDelta (UnitDeltaApplier) patches the
+//     bound graph's arc layout in place for small edge deltas —
+//     tombstoning removals, reviving re-additions, inserting novel edges
+//     into per-vertex slack — so adjacent-snapshot rebinding costs
+//     O(|delta|) instead of a full re-init, with traversal order (and
+//     hence extracted cuts) identical to a fresh build on the
+//     connectivity pipeline's Even-transformed graphs.
 package maxflow
 
 import "fmt"
@@ -74,6 +84,28 @@ type Solver interface {
 	PrepareSource(s int)
 }
 
+// UnitDeltaApplier is implemented by solvers that can patch their bound
+// graph in place when it changes by a small edge delta, instead of
+// re-binding through Reset. Removed edges are tombstoned — their arcs
+// keep their slots with capacity zero, preserving the arc layout and
+// with it the solver's deterministic traversal order — and added edges
+// revive a previously tombstoned slot or claim per-vertex slack. When the
+// delta cannot be applied (an unknown removal, or slack exhausted),
+// ApplyUnitDelta reports false WITHOUT modifying the bound graph — the
+// verification pass precedes any write — and the caller falls back to a
+// full Reset. Query-level caches (warm-start preflows, prepared sources)
+// may be dropped even on failure; the solver keeps answering correctly
+// for the old binding either way.
+//
+// The adjacent-snapshot contract: both sources name edges of the solver's
+// coordinate space (for the connectivity engine, Even-transformed edges),
+// and the delta must describe the transition from the currently bound
+// graph. Query-level caches (prepared sources, warm-start residuals) are
+// invalidated; the expensive arc layout is what survives.
+type UnitDeltaApplier interface {
+	ApplyUnitDelta(added, removed EdgeSource) bool
+}
+
 // Factory constructs a solver for a graph given as an edge list.
 type Factory func(n int, edges []Edge) Solver
 
@@ -84,6 +116,7 @@ type Algorithm int
 const (
 	Dinic Algorithm = iota + 1
 	PushRelabel
+	HaoOrlin
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +126,8 @@ func (a Algorithm) String() string {
 		return "dinic"
 	case PushRelabel:
 		return "push-relabel"
+	case HaoOrlin:
+		return "hao-orlin"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -105,6 +140,8 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return Dinic, nil
 	case "push-relabel", "pushrelabel", "hipr":
 		return PushRelabel, nil
+	case "hao-orlin", "haoorlin":
+		return HaoOrlin, nil
 	default:
 		return 0, fmt.Errorf("maxflow: unknown algorithm %q", s)
 	}
@@ -121,6 +158,8 @@ func (a Algorithm) NewSolverSource(n int, edges EdgeSource) Solver {
 	switch a {
 	case PushRelabel:
 		return NewPushRelabelSource(n, edges)
+	case HaoOrlin:
+		return NewHaoOrlinSource(n, edges)
 	default:
 		return NewDinicSource(n, edges)
 	}
@@ -135,6 +174,14 @@ func UnitEdges(pairs [][2]int) []Edge {
 	return out
 }
 
+// arcSlack is the spare arc-slot capacity reserved per vertex at init:
+// applyDelta inserts arcs for never-before-seen edges into these slots in
+// place (two per edge, one at each endpoint), so a rebinding sweep over
+// adjacent snapshots absorbs up to arcSlack novel-edge endpoints per
+// vertex before a full rebuild — which then restores the slack — becomes
+// necessary.
+const arcSlack = 8
+
 // arcStore is the shared residual-graph representation in forward-star
 // layout: arcs are grouped contiguously by tail vertex, so the inner
 // loops of BFS/DFS/discharge scan to/cap sequentially with no index
@@ -143,20 +190,29 @@ func UnitEdges(pairs [][2]int) []Edge {
 // historical CSR layout (ascending edge-list index), so traversal
 // decisions — and with them residual states and extracted cuts — are
 // bit-for-bit identical to earlier revisions.
+//
+// A vertex's live arcs occupy [first[v], last[v]); the remainder of its
+// region up to first[v+1] is insertion slack (self-partnered zero arcs,
+// never traversed). Edge deltas mutate the store in place: removals
+// tombstone an arc (capacity zero, slot kept, preserving traversal
+// order), additions revive a tombstone or claim a slack slot at the
+// position a fresh build would have used.
 type arcStore struct {
 	n     int
 	to    []int32 // arc -> head vertex
 	cap   []int32 // arc -> residual capacity (mutated during a query)
 	cap0  []int32 // arc -> original capacity (for reset between queries)
 	rev   []int32 // arc -> its reverse arc
-	first []int32 // vertex -> first arc index; first[n] is the arc count
+	first []int32 // vertex -> first arc index; first[n] bounds the arrays
+	last  []int32 // vertex -> one past its last live arc
 	// dirty records arcs whose residual capacity changed since the last
 	// reset, so resetTouched restores only what a query actually moved —
 	// augmenting a handful of unit paths instead of copying the whole
 	// capacity array. Only solvers that route every capacity mutation
-	// through touch (Dinic) may use resetTouched; others use resetAll.
+	// through touch (Dinic, HaoOrlin) may use resetTouched; push-relabel
+	// uses resetAll.
 	dirty []int32
-	pos   []int32 // per-vertex next-slot cursor, scratch for init
+	pos   []int32 // per-vertex scratch: init cursor, delta slack counting
 }
 
 // init (re)binds the store to a graph, reusing slices whose capacity
@@ -168,6 +224,7 @@ func (s *arcStore) init(n int, edges EdgeSource) {
 	m := edges.NumEdges()
 	s.n = n
 	s.first = growInt32(s.first, n+1)
+	s.last = growInt32(s.last, n)
 	for i := range s.first {
 		s.first[i] = 0
 	}
@@ -186,7 +243,8 @@ func (s *arcStore) init(n int, edges EdgeSource) {
 	for v := 0; v < n; v++ {
 		deg := s.first[v]
 		s.first[v] = total
-		total += deg
+		s.last[v] = total + deg
+		total += deg + arcSlack
 	}
 	s.first[n] = total
 	s.to = growInt32(s.to, int(total))
@@ -207,6 +265,16 @@ func (s *arcStore) init(n int, edges EdgeSource) {
 		s.cap[bwd] = 0
 		s.rev[fwd] = bwd
 		s.rev[bwd] = fwd
+	}
+	// Slack slots: self-partnered zero arcs, harmless to whole-array
+	// passes (capacity copies, mirror rebuilds) and invisible to
+	// traversal, which stops at last[v].
+	for v := 0; v < n; v++ {
+		for q := s.last[v]; q < s.first[v+1]; q++ {
+			s.to[q] = 0
+			s.cap[q] = 0
+			s.rev[q] = q
+		}
 	}
 	copy(s.cap0, s.cap)
 	s.dirty = s.dirty[:0]
@@ -232,6 +300,141 @@ func (s *arcStore) resetTouched() {
 func (s *arcStore) resetAll() {
 	copy(s.cap, s.cap0)
 	s.dirty = s.dirty[:0]
+}
+
+// findArc returns the index of the arc with tail u and head v, or -1.
+// Callers must ensure the (u, v) pair identifies at most one interesting
+// arc; the connectivity pipeline's Even-transformed graphs guarantee this
+// for original (out-copy -> in-copy) edges, whose reverse pair never
+// exists as an edge of its own.
+func (s *arcStore) findArc(u, v int32) int32 {
+	for a := s.first[u]; a < s.last[u]; a++ {
+		if s.to[a] == v {
+			return a
+		}
+	}
+	return -1
+}
+
+// insertSlot opens a slot for a new arc (u -> head) at the position a
+// fresh build would have used, shifting later arcs right into the slack
+// region and re-aiming their partners' rev pointers. The caller must have
+// checked slack availability (last[u] < first[u+1]).
+//
+// Position rule: live and tombstoned arcs after the region's first slot
+// are ordered by ascending head for the Even-transformed graphs the
+// connectivity engine binds (the first slot holds the vertex's internal
+// edge, whose edge index precedes every original edge). Inserting by that
+// rule keeps a patched store's traversal order identical to a fresh
+// build's, which is what makes patched and rebuilt solvers answer
+// bit-identically. On arbitrary graphs the rule is merely *an* order —
+// values stay exact, only cut tie-breaking could differ from a rebuild.
+func (s *arcStore) insertSlot(u, head int32) int32 {
+	pos := s.last[u]
+	for pos > s.first[u]+1 && s.to[pos-1] > head {
+		pos--
+	}
+	for q := s.last[u]; q > pos; q-- {
+		s.to[q] = s.to[q-1]
+		s.cap[q] = s.cap[q-1]
+		s.cap0[q] = s.cap0[q-1]
+		r := s.rev[q-1]
+		s.rev[q] = r
+		s.rev[r] = q
+	}
+	s.last[u]++
+	return pos
+}
+
+// insertArcPair inserts the arc (u, v) with capacity c and its
+// zero-capacity partner.
+func (s *arcStore) insertArcPair(u, v, c int32) {
+	pu := s.insertSlot(u, v)
+	pv := s.insertSlot(v, u)
+	s.to[pu] = v
+	s.cap[pu] = c
+	s.cap0[pu] = c
+	s.rev[pu] = pv
+	s.to[pv] = u
+	s.cap[pv] = 0
+	s.cap0[pv] = 0
+	s.rev[pv] = pu
+}
+
+// deltaEdge reads the i-th edge of src, swapping endpoints for stores
+// initialized through a reversedSource.
+func deltaEdge(src EdgeSource, i int, reversed bool) (int, int, int32) {
+	u, v, c := src.EdgeAt(i)
+	if reversed {
+		return v, u, c
+	}
+	return u, v, c
+}
+
+// applyDelta patches the store in place: arcs named by removed are
+// tombstoned (capacity zeroed, slot and arc order kept), arcs named by
+// added either revive their tombstone at the capacity the source reports
+// or — for edges never seen in any earlier binding — claim per-vertex
+// slack slots at fresh-build positions. Patching is atomic: a
+// verification pass (including cumulative slack accounting) runs first,
+// and if any addition collides with a live arc, any removal names a
+// missing or empty arc, any endpoint is out of range, or an endpoint's
+// slack is exhausted, the store is left untouched and false is returned
+// so the caller falls back to a full rebuild (which restores the slack).
+//
+// Preconditions: the residual has been reset (cap == cap0 everywhere),
+// and the two sources each name distinct edges (a diff, not a log).
+func (s *arcStore) applyDelta(added, removed EdgeSource, reversed bool) bool {
+	n := int32(s.n)
+	na, nr := added.NumEdges(), removed.NumEdges()
+	for i := 0; i < na; i++ {
+		u, v, _ := deltaEdge(added, i, reversed)
+		if u < 0 || int32(u) >= n || v < 0 || int32(v) >= n || u == v {
+			return false
+		}
+		s.pos[u], s.pos[v] = 0, 0 // slack-demand counters for this delta
+	}
+	for i := 0; i < na; i++ {
+		u, v, _ := deltaEdge(added, i, reversed)
+		a := s.findArc(int32(u), int32(v))
+		if a >= 0 {
+			if s.cap0[a] != 0 {
+				return false // addition collides with a live arc
+			}
+			continue // revival: no slack needed
+		}
+		s.pos[u]++
+		s.pos[v]++
+		if s.last[u]+s.pos[u] > s.first[u+1] || s.last[v]+s.pos[v] > s.first[v+1] {
+			return false // slack exhausted at an endpoint
+		}
+	}
+	for i := 0; i < nr; i++ {
+		u, v, _ := deltaEdge(removed, i, reversed)
+		if u < 0 || int32(u) >= n || v < 0 || int32(v) >= n {
+			return false
+		}
+		a := s.findArc(int32(u), int32(v))
+		if a < 0 || s.cap0[a] <= 0 {
+			return false
+		}
+	}
+	for i := 0; i < nr; i++ {
+		u, v, _ := deltaEdge(removed, i, reversed)
+		a := s.findArc(int32(u), int32(v))
+		s.cap0[a] = 0
+		s.cap[a] = 0
+	}
+	for i := 0; i < na; i++ {
+		u, v, c := deltaEdge(added, i, reversed)
+		if a := s.findArc(int32(u), int32(v)); a >= 0 {
+			s.cap0[a] = c
+			s.cap[a] = c
+		} else {
+			s.insertArcPair(int32(u), int32(v), c)
+		}
+	}
+	return true
 }
 
 // growInt32 returns a length-n slice, reusing s's backing array when its

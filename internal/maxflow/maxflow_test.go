@@ -55,6 +55,7 @@ func solvers() map[string]Factory {
 	return map[string]Factory{
 		"dinic":        func(n int, e []Edge) Solver { return NewDinic(n, e) },
 		"push-relabel": func(n int, e []Edge) Solver { return NewPushRelabel(n, e) },
+		"hao-orlin":    func(n int, e []Edge) Solver { return NewHaoOrlin(n, e) },
 	}
 }
 

@@ -90,6 +90,25 @@ func (p *PushRelabelSolver) Reset(n int, edges EdgeSource) {
 // N implements Solver.
 func (p *PushRelabelSolver) N() int { return p.st.n }
 
+// ApplyUnitDelta implements UnitDeltaApplier: it patches the bound graph
+// in place and invalidates the warm-start preflow, which may violate the
+// patched capacities. The rcap0 mirror is rebuilt (one sequential pass);
+// rcap itself is refreshed by the next query's cold start. The warm
+// start is dropped even when the patch fails — resetAll has already
+// restored the residual, so carrying the old sweep's excess onto it
+// would corrupt the next same-source query.
+func (p *PushRelabelSolver) ApplyUnitDelta(added, removed EdgeSource) bool {
+	p.st.resetAll()
+	p.sweepSrc = -1
+	if !p.st.applyDelta(added, removed, false) {
+		return false
+	}
+	for a := range p.rcap0 {
+		p.rcap0[a] = p.st.cap0[p.st.rev[a]]
+	}
+	return true
+}
+
 // PrepareSource implements Solver. Push-relabel computes its heights by a
 // backward search from the sink, so there is no target-independent source
 // state to cache; the hint is a no-op.
@@ -127,7 +146,7 @@ func (p *PushRelabelSolver) MaxFlowLimit(s, t, limit int) int {
 	// excess; then (re-)saturate the arcs out of s — on a warm start only
 	// the capacity that earlier discharges pushed back into s.
 	p.globalRelabelPreserve(ss, tt)
-	for a := p.st.first[ss]; a < p.st.first[ss+1]; a++ {
+	for a := p.st.first[ss]; a < p.st.last[ss]; a++ {
 		if p.st.cap[a] <= 0 {
 			continue
 		}
@@ -198,7 +217,7 @@ func (p *PushRelabelSolver) popHighest(n int32) int32 {
 // until the excess is gone or u rises to height >= n (unreachable from t).
 func (p *PushRelabelSolver) discharge(u, s, t, n int32) {
 	for p.excess[u] > 0 && p.height[u] < n {
-		if p.cur[u] >= p.st.first[u+1] {
+		if p.cur[u] >= p.st.last[u] {
 			p.relabel(u, n)
 			continue
 		}
@@ -248,7 +267,7 @@ func (p *PushRelabelSolver) relabel(u, n int32) {
 		return
 	}
 	minH := int32(2*p.st.n) + 1
-	for a := p.st.first[u]; a < p.st.first[u+1]; a++ {
+	for a := p.st.first[u]; a < p.st.last[u]; a++ {
 		if p.st.cap[a] > 0 && p.height[p.st.to[a]] < minH {
 			minH = p.height[p.st.to[a]]
 		}
@@ -276,13 +295,13 @@ func (p *PushRelabelSolver) globalRelabel(s, t int32) {
 	}
 	copy(p.cur, p.st.first[:p.st.n])
 	height[t] = 0
-	first, to, rcap := p.st.first, p.st.to, p.rcap
+	first, last, to, rcap := p.st.first, p.st.last, p.st.to, p.rcap
 	queue := p.queue[:0]
 	queue = append(queue, t)
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
 		hv1 := height[v] + 1
-		for a := first[v]; a < first[v+1]; a++ {
+		for a := first[v]; a < last[v]; a++ {
 			u := to[a]
 			// Residual arc u->v exists iff the reverse of the v->u arc
 			// has positive capacity, mirrored sequentially in rcap.

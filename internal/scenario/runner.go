@@ -86,11 +86,21 @@ func Run(cfg Config) (*Result, error) {
 	// (smallest-out-degree, pruned) and Avg (seeded uniform, exact) sweeps
 	// into a single pass and reusing the Even transform, solver pool and
 	// scratch across snapshots instead of rebuilding them per analyzer.
+	// Binding is incremental across adjacent snapshots: when the live
+	// membership is unchanged since the previously analyzed snapshot —
+	// joins, churn departures and adversarial strikes all bump the
+	// population's membership generation, so they "emit" the node half of
+	// the delta for free — vertex indices carry over and only the
+	// routing-table edge delta is fed to the engine, which patches its
+	// solvers in place instead of rebuilding them.
 	res := &Result{Config: cfg}
 	engine, err := connectivity.NewEngine(connectivity.EngineOptions{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
+	binder := connectivity.NewIncrementalBinder(engine)
+	var genAtLastBind uint64
+	haveBound := false
 	snap := func() {
 		s := snapshot.Capture(sim.Now(), pop.nodes)
 		point := SnapshotStat{
@@ -99,7 +109,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if s.N() > 1 {
 			point.Symmetry = s.Graph.SymmetryRatio()
-			engine.Bind(s.Graph)
+			sameVertices := haveBound && pop.membershipGen == genAtLastBind
+			if binder.BindNext(s.Graph, sameVertices) {
+				res.IncrementalBinds++
+			} else {
+				res.FullBinds++
+			}
+			haveBound = true
+			genAtLastBind = pop.membershipGen
 			sr := engine.AnalyzeSnapshot(connectivity.SnapshotQuery{
 				SampleFraction: cfg.SampleFraction,
 				AvgSeed:        cfg.Seed + int64(len(res.Points)),

@@ -195,8 +195,15 @@ type Result struct {
 	// them in strike order (nil when no attack is configured).
 	AttackRemoved int
 	Victims       []attack.Victim
-	Network       simnet.Stats
-	Elapsed       time.Duration // wall-clock cost of the run
+	// IncrementalBinds and FullBinds count how the per-snapshot analyses
+	// bound the connectivity engine: snapshots whose live membership was
+	// unchanged since the previous one rebind incrementally (edge delta
+	// patched in place), the rest rebuild. Diagnostics only — not part of
+	// the sweep JSON schema.
+	IncrementalBinds int
+	FullBinds        int
+	Network          simnet.Stats
+	Elapsed          time.Duration // wall-clock cost of the run
 }
 
 // MinSeries returns the minimum-connectivity time series.
@@ -258,6 +265,13 @@ type population struct {
 	cfg      kademlia.Config
 	nodes    []*kademlia.Node
 	nextAddr simnet.Addr
+	// membershipGen counts live-set changes: every join (setup, churn) and
+	// every removal (churn departure, adversarial strike) bumps it. Two
+	// snapshots captured at the same generation therefore see the same
+	// live nodes in the same order — the precondition for the runner's
+	// incremental engine rebinding, where routing-table edge deltas are
+	// meaningful because vertex indices denote the same nodes.
+	membershipGen uint64
 }
 
 var (
@@ -285,6 +299,7 @@ func (p *population) RemoveRandomNode() bool {
 		return false
 	}
 	live[p.sim.Rand().Intn(len(live))].Leave()
+	p.membershipGen++
 	return true
 }
 
@@ -301,6 +316,7 @@ func (p *population) RemoveNode(addr simnet.Addr) bool {
 	for _, n := range p.nodes {
 		if n.Addr() == addr && n.Running() {
 			n.Leave()
+			p.membershipGen++
 			return true
 		}
 	}
@@ -327,6 +343,7 @@ func (p *population) spawn() (*kademlia.Node, error) {
 		return nil, fmt.Errorf("scenario: spawn: %w", err)
 	}
 	p.nodes = append(p.nodes, node)
+	p.membershipGen++
 	if len(live) > 0 {
 		bootstrap := live[p.sim.Rand().Intn(len(live))]
 		if err := node.Join(bootstrap.Contact(), nil); err != nil {

@@ -52,13 +52,17 @@ type ckptFile struct {
 	Fingerprint string `json:"fingerprint"`
 	Bits        int    `json:"bits"`
 
-	Points        []ckptPoint  `json:"points"`
-	ChurnAdded    int          `json:"churn_added"`
-	ChurnRemoved  int          `json:"churn_removed"`
-	TrafficOps    int          `json:"traffic_ops"`
-	AttackRemoved int          `json:"attack_removed"`
-	Victims       []ckptVictim `json:"victims,omitempty"`
-	Network       simnet.Stats `json:"network"`
+	Points        []ckptPoint `json:"points"`
+	ChurnAdded    int         `json:"churn_added"`
+	ChurnRemoved  int         `json:"churn_removed"`
+	TrafficOps    int         `json:"traffic_ops"`
+	AttackRemoved int         `json:"attack_removed"`
+	// Binding diagnostics, carried so a resumed run round-trips the
+	// original Result exactly (the resume regression test DeepEquals).
+	IncrementalBinds int          `json:"inc_binds,omitempty"`
+	FullBinds        int          `json:"full_binds,omitempty"`
+	Victims          []ckptVictim `json:"victims,omitempty"`
+	Network          simnet.Stats `json:"network"`
 }
 
 // ckptPoint mirrors scenario.SnapshotStat with an exact timestamp (the
@@ -121,6 +125,7 @@ func (c *Checkpointer) Store(cfg scenario.Config, rep int, r *scenario.Result) e
 		Bits:       r.Config.Bits,
 		ChurnAdded: r.ChurnAdded, ChurnRemoved: r.ChurnRemoved,
 		TrafficOps: r.TrafficOps, AttackRemoved: r.AttackRemoved,
+		IncrementalBinds: r.IncrementalBinds, FullBinds: r.FullBinds,
 		Network: r.Network,
 	}
 	for _, p := range r.Points {
@@ -171,6 +176,7 @@ func (c *Checkpointer) Load(cfg scenario.Config, rep int) (*scenario.Result, boo
 		Config:     eff,
 		ChurnAdded: in.ChurnAdded, ChurnRemoved: in.ChurnRemoved,
 		TrafficOps: in.TrafficOps, AttackRemoved: in.AttackRemoved,
+		IncrementalBinds: in.IncrementalBinds, FullBinds: in.FullBinds,
 		Network: in.Network,
 	}
 	for _, p := range in.Points {
