@@ -16,6 +16,7 @@ package kadre
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"kadre/internal/maxflow"
 	"kadre/internal/scenario"
 	"kadre/internal/simnet"
+	"kadre/internal/snapshot"
 	"kadre/internal/stats"
 )
 
@@ -484,17 +486,145 @@ func churnSequenceBench(rebind bool, algo maxflow.Algorithm) func(*testing.B) {
 	}
 }
 
+// memberChurnSequence builds a cyclic sequence of stable-slot snapshot
+// graphs under MEMBERSHIP churn: each step removes one node, joins one
+// replacement (recycling the vacated slot, like snapshot.CaptureSlots),
+// and churns ~changes routing-table edges. The slot count stays constant
+// across the cycle, so every step is incrementally rebindable — the
+// join/leave/strike workload that, before stable-slot indexing, forced a
+// full bind per snapshot.
+func memberChurnSequence(n, deg, steps, changes int, seed int64) (graphs []*graph.Digraph, orders [][]int) {
+	r := rand.New(rand.NewSource(seed))
+	var slots snapshot.SlotMap[int]
+	nextID := n
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	edges := map[[2]int]bool{}
+	addEdges := func(id, degree int) {
+		for d := 0; d < degree; d++ {
+			other := alive[r.Intn(len(alive))]
+			if other == id {
+				continue
+			}
+			edges[[2]int{id, other}] = true
+			if r.Float64() < 0.9 {
+				edges[[2]int{other, id}] = true
+			}
+		}
+	}
+	for _, id := range alive {
+		addEdges(id, deg)
+	}
+	capture := func() (*graph.Digraph, []int) {
+		return snapshot.BuildSlotGraph(&slots, alive, func(emit func(u, v int)) {
+			for e := range edges {
+				emit(e[0], e[1])
+			}
+		})
+	}
+	g0, o0 := capture()
+	graphs, orders = append(graphs, g0), append(orders, o0)
+	for i := 1; i < steps; i++ {
+		// One leave + one join (slot recycled; count stays constant).
+		gone := alive[r.Intn(len(alive))]
+		alive = slices.DeleteFunc(alive, func(x int) bool { return x == gone })
+		for e := range edges {
+			if e[0] == gone || e[1] == gone {
+				delete(edges, e)
+			}
+		}
+		id := nextID
+		nextID++
+		alive = append(alive, id)
+		addEdges(id, deg)
+		// Plus routing-table churn on the survivors.
+		keys := make([][2]int, 0, len(edges))
+		for e := range edges {
+			keys = append(keys, e)
+		}
+		slices.SortFunc(keys, func(a, b [2]int) int {
+			if a[0] != b[0] {
+				return a[0] - b[0]
+			}
+			return a[1] - b[1]
+		})
+		for c := 0; c < changes/2 && len(keys) > 0; c++ {
+			k := r.Intn(len(keys))
+			delete(edges, keys[k])
+			keys[k] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+		}
+		for c := 0; c < changes/2; c++ {
+			u, v := alive[r.Intn(len(alive))], alive[r.Intn(len(alive))]
+			if u != v {
+				edges[[2]int{u, v}] = true
+			}
+		}
+		g, o := capture()
+		graphs, orders = append(graphs, g), append(orders, o)
+	}
+	return graphs, orders
+}
+
+// memberChurnSequenceBench returns the benchmark body for one binding
+// mode over the membership-churn workload. "rebind" routes every
+// snapshot through IncrementalBinder.BindNextSlots (the stable-slot
+// incremental path); "bind" full-binds the slot capture per snapshot —
+// the pre-slot behavior for membership changes.
+func memberChurnSequenceBench(rebind bool, algo maxflow.Algorithm) func(*testing.B) {
+	return func(b *testing.B) {
+		graphs, orders := memberChurnSequence(250, 20, 8, 40, 13)
+		for i := range graphs {
+			if graphs[i].N() != graphs[0].N() {
+				b.Fatalf("slot count drifted: %d != %d", graphs[i].N(), graphs[0].N())
+			}
+		}
+		eng := connectivity.MustNewEngine(connectivity.EngineOptions{
+			Algorithm: algo, ExactAlgorithm: algo,
+		})
+		binder := connectivity.NewIncrementalBinder(eng)
+		binder.BindNextSlots(graphs[0], orders[0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range graphs {
+				k := (j + 1) % len(graphs)
+				if rebind {
+					binder.BindNextSlots(graphs[k], orders[k])
+				} else {
+					eng.BindSlots(graphs[k], orders[k])
+				}
+				eng.AnalyzeSnapshot(connectivity.SnapshotQuery{SampleFraction: 0.02, AvgSeed: int64(j)})
+			}
+		}
+		if rebind && eng.RebindFallbacks() != 0 {
+			b.Fatalf("%d rebind fallbacks on the membership-churn cycle", eng.RebindFallbacks())
+		}
+		b.ReportMetric(0, "ns/op") // reset default
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(graphs)), "ns/snapshot")
+	}
+}
+
 // BenchmarkChurnSequence measures adjacent-snapshot reanalysis: a cycle
 // of same-membership snapshot graphs differing by ~40 routing-table
 // edges, analyzed with the fused Min+Avg sweep. rebind-haoorlin is the
 // incremental path this repo ships (delta patching + the fixed-root
 // sweep solver); bind-haoorlin isolates the rebinding overhead;
 // bind-pushrelabel is the previous revision's per-snapshot rebinding
-// baseline.
+// baseline. The members-* variants run the same analysis over a
+// MEMBERSHIP-churn cycle (one leave + one join + edge churn per step,
+// slots recycled): members-rebind-haoorlin is the stable-slot
+// incremental path, members-bind-haoorlin the full-bind fallback it
+// replaces.
 func BenchmarkChurnSequence(b *testing.B) {
 	b.Run("rebind-haoorlin", churnSequenceBench(true, maxflow.HaoOrlin))
 	b.Run("bind-haoorlin", churnSequenceBench(false, maxflow.HaoOrlin))
 	b.Run("bind-pushrelabel", churnSequenceBench(false, maxflow.PushRelabel))
+	b.Run("members-rebind-haoorlin", memberChurnSequenceBench(true, maxflow.HaoOrlin))
+	b.Run("members-bind-haoorlin", memberChurnSequenceBench(false, maxflow.HaoOrlin))
+	b.Run("members-bind-pushrelabel", memberChurnSequenceBench(false, maxflow.PushRelabel))
 }
 
 // BenchmarkSimulationMinute measures raw simulation throughput: one

@@ -66,6 +66,8 @@ func TestBenchTrajectory(t *testing.T) {
 		{"MaxflowAlgorithms/hao-orlin", maxflowAlgoBench(maxflow.HaoOrlin)},
 		{"ChurnSequence/rebind-haoorlin", churnSequenceBench(true, maxflow.HaoOrlin)},
 		{"ChurnSequence/bind-pushrelabel", churnSequenceBench(false, maxflow.PushRelabel)},
+		{"ChurnSequence/members-rebind-haoorlin", memberChurnSequenceBench(true, maxflow.HaoOrlin)},
+		{"ChurnSequence/members-bind-pushrelabel", memberChurnSequenceBench(false, maxflow.PushRelabel)},
 		{"Figure2SimA", func(b *testing.B) { benchFigure(b, scenario.Scale.Figure2) }},
 	}
 	doc := benchTrajectoryFile{

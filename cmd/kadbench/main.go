@@ -1,11 +1,16 @@
 // Command kadbench diffs two points of the repository's performance
 // trajectory (the BENCH_<date>.json files written by the -benchjson test
 // mode), rendering a benchstat-style old-vs-new table of ns/op and
-// allocs/op and optionally failing on regressions.
+// allocs/op and optionally failing on regressions. With three or more
+// files — or -trend — it renders the whole trajectory instead: one row
+// per benchmark with a sparkline of ns/op across the given points and
+// the first-to-last delta, so the committed BENCH_*.json history reads
+// as a table.
 //
 // Usage:
 //
 //	kadbench [-max-regress PCT] OLD.json NEW.json
+//	kadbench -trend BENCH_*.json
 //
 // With -max-regress set to a positive percentage, kadbench exits nonzero
 // when any benchmark present in both files regressed its ns/op by more
@@ -53,12 +58,27 @@ func run(args []string, w io.Writer) error {
 	fs.SetOutput(w)
 	maxRegress := fs.Float64("max-regress", 0,
 		"fail when any common benchmark's ns/op regresses by more than this percentage (0 disables the gate)")
+	trend := fs.Bool("trend", false,
+		"render a sparkline trend table across all given trajectory files instead of a two-point diff")
 	fs.Usage = func() {
 		fmt.Fprintln(w, "usage: kadbench [-max-regress PCT] OLD.json NEW.json")
+		fmt.Fprintln(w, "       kadbench -trend FILE.json...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trend || fs.NArg() > 2 {
+		if *maxRegress > 0 {
+			// The trend table is informational; silently dropping the gate
+			// (e.g. because a glob matched one extra file) must not pass CI.
+			return fmt.Errorf("-max-regress gates a two-file diff, not a trend table; pass exactly OLD.json NEW.json")
+		}
+		if fs.NArg() < 2 {
+			fs.Usage()
+			return fmt.Errorf("trend mode wants at least two trajectory files, got %d", fs.NArg())
+		}
+		return runTrend(fs.Args(), w)
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()
@@ -118,6 +138,125 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.2f%%", len(regressed), *maxRegress)
 	}
 	return nil
+}
+
+// sparkRunes are the eight sparkline levels, lowest to highest ns/op.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// runTrend renders the trajectory table: one row per benchmark (ordered
+// by first appearance across the files), a sparkline of its ns/op over
+// the points, the first and latest values, and the first-to-last delta.
+// Points where a benchmark is absent render as '·' in the sparkline.
+func runTrend(paths []string, w io.Writer) error {
+	docs := make([]*benchFile, len(paths))
+	for i, p := range paths {
+		d, err := load(p)
+		if err != nil {
+			return err
+		}
+		docs[i] = d
+	}
+	fmt.Fprintf(w, "trajectory: %d points, %s (%s) -> %s (%s)\n\n",
+		len(docs), paths[0], docs[0].Date, paths[len(paths)-1], docs[len(docs)-1].Date)
+
+	var names []string
+	seen := map[string]bool{}
+	for _, d := range docs {
+		for _, b := range d.Benchmarks {
+			if !seen[b.Name] {
+				seen[b.Name] = true
+				names = append(names, b.Name)
+			}
+		}
+	}
+
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "benchmark\ttrend\tfirst ns/op\tlatest ns/op\tdelta\t")
+	for _, name := range names {
+		series := make([]float64, len(docs))
+		present := make([]bool, len(docs))
+		for i, d := range docs {
+			for _, b := range d.Benchmarks {
+				if b.Name == name {
+					series[i], present[i] = b.NsPerOp, true
+					break
+				}
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t\n",
+			name, sparkline(series, present), firstVal(series, present),
+			lastVal(series, present), trendDelta(series, present))
+	}
+	return tw.Flush()
+}
+
+// sparkline maps the present points onto the eight spark levels,
+// normalized to the benchmark's own min..max range (a flat series
+// renders at the lowest level).
+func sparkline(series []float64, present []bool) string {
+	lo, hi := 0.0, 0.0
+	first := true
+	for i, v := range series {
+		if !present[i] {
+			continue
+		}
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	var out []rune
+	for i, v := range series {
+		if !present[i] {
+			out = append(out, '·')
+			continue
+		}
+		level := 0
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		out = append(out, sparkRunes[level])
+	}
+	return string(out)
+}
+
+func firstVal(series []float64, present []bool) string {
+	for i := range series {
+		if present[i] {
+			return fmtNs(series[i])
+		}
+	}
+	return "-"
+}
+
+func lastVal(series []float64, present []bool) string {
+	for i := len(series) - 1; i >= 0; i-- {
+		if present[i] {
+			return fmtNs(series[i])
+		}
+	}
+	return "-"
+}
+
+// trendDelta reports the percentage change from the first present point
+// to the last (negative = faster).
+func trendDelta(series []float64, present []bool) string {
+	fi, li := -1, -1
+	for i := range series {
+		if present[i] {
+			if fi < 0 {
+				fi = i
+			}
+			li = i
+		}
+	}
+	if fi < 0 || fi == li {
+		return "-"
+	}
+	return fmt.Sprintf("%+.2f%%", pctDelta(series[fi], series[li]))
 }
 
 func load(path string) (*benchFile, error) {

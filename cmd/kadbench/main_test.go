@@ -83,6 +83,71 @@ func TestRegressionGate(t *testing.T) {
 	}
 }
 
+func TestTrendTable(t *testing.T) {
+	dir := t.TempDir()
+	p1 := writeTrajectory(t, dir, "a.json", []benchEntry{
+		{Name: "SnapshotAnalysis", NsPerOp: 100e6},
+		{Name: "Legacy", NsPerOp: 5e3},
+	})
+	p2 := writeTrajectory(t, dir, "b.json", []benchEntry{
+		{Name: "SnapshotAnalysis", NsPerOp: 60e6},
+		{Name: "Legacy", NsPerOp: 5e3},
+		{Name: "ChurnSequence/members-rebind-haoorlin", NsPerOp: 50e6},
+	})
+	p3 := writeTrajectory(t, dir, "c.json", []benchEntry{
+		{Name: "SnapshotAnalysis", NsPerOp: 20e6},
+		{Name: "ChurnSequence/members-rebind-haoorlin", NsPerOp: 45e6},
+	})
+	var buf bytes.Buffer
+	// Three positional files flip into trend mode without the flag.
+	if err := run([]string{p1, p2, p3}, &buf); err != nil {
+		t.Fatalf("trend run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trajectory: 3 points",
+		"SnapshotAnalysis", "█▄▁", "-80.00%", // monotone improvement, full series
+		"Legacy", "▁▁·", // flat then absent
+		"ChurnSequence/members-rebind-haoorlin", "·█▁", "-10.00%", // appears at point 2
+		"100ms", "20ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trend table missing %q:\n%s", want, out)
+		}
+	}
+	// The explicit flag works with exactly two files too.
+	buf.Reset()
+	if err := run([]string{"-trend", p1, p2}, &buf); err != nil {
+		t.Fatalf("two-point trend failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "trajectory: 2 points") {
+		t.Fatalf("two-point trend not rendered:\n%s", buf.String())
+	}
+	// One file is rejected.
+	if err := run([]string{"-trend", p1}, &bytes.Buffer{}); err == nil {
+		t.Fatal("single-file trend should be rejected")
+	}
+	// A regression gate never silently degrades into an ungated trend —
+	// three files with -max-regress is an error, not a sparkline.
+	if err := run([]string{"-max-regress", "5", p1, p2, p3}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-max-regress with three files should be rejected, not bypass the gate")
+	}
+}
+
+func TestTrendAgainstRealTrajectories(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(matches) < 2 {
+		t.Skipf("need two committed BENCH files, have %d", len(matches))
+	}
+	var buf bytes.Buffer
+	if err := run(append([]string{"-trend"}, matches...), &buf); err != nil {
+		t.Fatalf("trend over committed trajectories: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "SnapshotAnalysis") {
+		t.Fatalf("no trend rendered:\n%s", buf.String())
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	dir := t.TempDir()
 	good := writeTrajectory(t, dir, "good.json", []benchEntry{{Name: "X", NsPerOp: 1}})

@@ -171,6 +171,19 @@ type Population interface {
 	RemoveNode(addr simnet.Addr) bool
 }
 
+// SlotRecon is optionally implemented by populations whose
+// reconnaissance can be captured in stable-slot form. The cutset
+// adversary prefers it: its strikes change membership by design, so
+// only stable-slot captures let the recon engine rebind incrementally
+// from strike to strike instead of rebuilding after every kill. The
+// slot table is owned by the adversary (recon slots are its private
+// numbering, independent of the measurement snapshots').
+type SlotRecon interface {
+	// AttackSlotSnapshot captures the current connectivity graph in
+	// stable-slot form, updating the given slot table.
+	AttackSlotSnapshot(idx *snapshot.SlotIndex) *snapshot.SlotSnapshot
+}
+
 // Victim records one successful removal.
 type Victim struct {
 	// Time is the virtual instant of the strike.
@@ -194,13 +207,16 @@ type Engine struct {
 	// instance serves every strike, rebinding to each reconnaissance
 	// snapshot so the flow solvers and the cut-mode network are built
 	// once per engine instead of once per strike (nil for the other
-	// strategies, which need no flow analysis). connBinder chooses the
-	// incremental rebind path for consecutive reconnaissance snapshots
-	// with unchanged membership — the adversary knows its own removals,
-	// but churn interleaves strikes, so identity is re-checked against
-	// the previous snapshot's address list.
+	// strategies, which need no flow analysis). When the population
+	// supports stable-slot reconnaissance (SlotRecon), connBinder routes
+	// every consecutive capture — the adversary's own strikes and the
+	// interleaved churn included — through the incremental rebind path,
+	// keyed on the engine's private slot table; otherwise identity is
+	// re-checked against the previous snapshot's address list and only
+	// unchanged membership rebinds incrementally.
 	conn       *connectivity.Engine
 	connBinder *connectivity.IncrementalBinder
+	connSlots  snapshot.SlotIndex
 	prevAddrs  []simnet.Addr
 
 	victims []Victim
@@ -275,6 +291,12 @@ func (e *Engine) budgetLeft() int {
 }
 
 // strike executes one attack round: snapshot, select, remove, re-arm.
+// The cutset strategy reconnoiters in stable-slot form when the
+// population supports it, so its flow engine rebinds incrementally
+// across its own removals; every other strategy (and legacy populations)
+// uses the dense capture. Victim selection is identical between the two
+// recon forms — the slot capture's rank numbering IS the dense capture's
+// numbering — so runs replay byte-for-byte regardless of the path.
 func (e *Engine) strike() {
 	now := e.sim.Now()
 	if now >= e.until || e.budgetLeft() <= 0 {
@@ -282,20 +304,34 @@ func (e *Engine) strike() {
 	}
 	e.strikes++
 
-	s := e.pop.AttackSnapshot()
+	var (
+		n     int
+		addrs []simnet.Addr
+		ids   []id.ID
+		pick  func(count int) []int
+	)
+	if sr, ok := e.pop.(SlotRecon); ok && e.cfg.Strategy == Cutset {
+		ss := sr.AttackSlotSnapshot(&e.connSlots)
+		n, addrs, ids = ss.N(), ss.Addrs, ss.IDs
+		pick = func(count int) []int { return e.selectCutsetSlots(ss, count) }
+	} else {
+		s := e.pop.AttackSnapshot()
+		n, addrs, ids = s.N(), s.Addrs, s.IDs
+		pick = func(count int) []int { return e.selectVictims(s, count) }
+	}
 	count := e.cfg.Kills
 	if left := e.budgetLeft(); count > left {
 		count = left
 	}
 	// Never kill the network outright: the adversary leaves at least two
 	// nodes standing, so post-strike snapshots remain analyzable.
-	if floor := s.N() - 2; count > floor {
+	if floor := n - 2; count > floor {
 		count = floor
 	}
 	if count > 0 {
-		for _, v := range e.selectVictims(s, count) {
-			if e.pop.RemoveNode(s.Addrs[v]) {
-				e.victims = append(e.victims, Victim{Time: now, Addr: s.Addrs[v], ID: s.IDs[v]})
+		for _, v := range pick(count) {
+			if e.pop.RemoveNode(addrs[v]) {
+				e.victims = append(e.victims, Victim{Time: now, Addr: addrs[v], ID: ids[v]})
 			}
 		}
 	}

@@ -87,8 +87,19 @@ func (e *Engine) selectCutset(s *snapshot.Snapshot, count int) []int {
 	if err != nil || !ok || len(cut) == 0 {
 		return selectDegree(s, count)
 	}
+	return topUpWithDegrees(cut, count, func() []int { return selectDegree(s, s.N()) })
+}
+
+// topUpWithDegrees realizes the cutset strategy's victim list from a
+// minimum cut: the whole cut when it covers count (GraphCut returns
+// sorted vertices, so the truncation is deterministic), otherwise the
+// cut extended with the highest-degree remaining vertices. Shared by the
+// dense and stable-slot recon paths so the policy cannot drift between
+// them; degreeOrder is a thunk because the degree sort is only needed
+// when the cut is short.
+func topUpWithDegrees(cut []int, count int, degreeOrder func() []int) []int {
 	if len(cut) >= count {
-		return cut[:count] // GraphCut returns sorted vertices
+		return cut[:count]
 	}
 	picked := make(map[int]bool, count)
 	out := make([]int, 0, count)
@@ -96,7 +107,7 @@ func (e *Engine) selectCutset(s *snapshot.Snapshot, count int) []int {
 		picked[v] = true
 		out = append(out, v)
 	}
-	for _, v := range selectDegree(s, s.N()) {
+	for _, v := range degreeOrder() {
 		if len(out) == count {
 			break
 		}
@@ -106,6 +117,49 @@ func (e *Engine) selectCutset(s *snapshot.Snapshot, count int) []int {
 		}
 	}
 	return out
+}
+
+// selectCutsetSlots is selectCutset over a stable-slot reconnaissance
+// capture: the flow engine binds the slot graph with its compaction map
+// — incrementally across strikes, since slot identity survives the
+// adversary's own removals and the interleaved churn — and GraphCut
+// answers in dense rank numbering, which is exactly the victim-indexing
+// space of the capture's Addrs/IDs. Selection is identical to the dense
+// selectCutset, including the degree top-up and fallback.
+func (e *Engine) selectCutsetSlots(s *snapshot.SlotSnapshot, count int) []int {
+	if count > s.N() {
+		count = s.N()
+	}
+	e.connBinder.BindNextSlots(s.Graph, s.Order)
+	cut, _, ok, err := e.conn.GraphCut(connectivity.Query{
+		SampleFraction: e.cfg.SampleFraction,
+	})
+	if err != nil || !ok || len(cut) == 0 {
+		return selectDegreeRanks(s, count)
+	}
+	return topUpWithDegrees(cut, count, func() []int { return selectDegreeRanks(s, s.N()) })
+}
+
+// selectDegreeRanks mirrors selectDegree on a slot capture: ranks
+// ordered by total slot-graph degree (out plus in), ties broken by rank
+// — the same ordering selectDegree produces on the dense capture, since
+// rank numbering IS the dense numbering.
+func selectDegreeRanks(s *snapshot.SlotSnapshot, count int) []int {
+	in := s.Graph.InDegrees()
+	order := make([]int, s.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := s.Order[order[a]], s.Order[order[b]]
+		da := s.Graph.OutDegree(sa) + in[sa]
+		db := s.Graph.OutDegree(sb) + in[sb]
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	return order[:count]
 }
 
 // selectEclipse picks the count vertices whose identifiers are closest to

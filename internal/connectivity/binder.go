@@ -25,6 +25,12 @@ type IncrementalBinder struct {
 	prev  *graph.Digraph
 	delta graph.Delta
 
+	// Stable-slot sequence state: the previous capture's compaction map
+	// and whether the previous bind went through the slot path at all
+	// (mixing BindNext and BindNextSlots forces a full bind at the seam).
+	prevOrder []int
+	prevSlots bool
+
 	incremental int
 	full        int
 }
@@ -48,13 +54,45 @@ func (b *IncrementalBinder) Engine() *Engine { return b.eng }
 // bound graph's.
 func (b *IncrementalBinder) BindNext(g *graph.Digraph, sameVertices bool) bool {
 	inc := false
-	if sameVertices && b.prev != nil && b.prev.N() == g.N() {
+	if sameVertices && !b.prevSlots && b.prev != nil && b.prev.N() == g.N() {
 		graph.DiffInto(b.prev, g, &b.delta)
 		inc = b.eng.Rebind(g, b.delta)
 	} else {
 		b.eng.Bind(g)
 	}
 	b.prev = g
+	b.prevSlots = false
+	if inc {
+		b.incremental++
+	} else {
+		b.full++
+	}
+	return inc
+}
+
+// BindNextSlots binds a stable-slot capture (the graph plus its
+// canonical compaction map, as produced by snapshot.CaptureSlots),
+// incrementally whenever the slot space carried over — which it does
+// across joins, leaves and strikes, not just same-membership edge churn:
+// slot identity is exactly what makes the vertex half of the delta
+// well-defined. Only a slot-table growth (more live nodes than ever
+// before) or a seam with the dense BindNext path forces a full bind. The
+// binder detects membership changes itself by comparing capture orders,
+// so there is no same-vertices flag for callers to get wrong.
+//
+// Like BindNext, the graph must not be mutated afterwards; order is
+// copied.
+func (b *IncrementalBinder) BindNextSlots(g *graph.Digraph, order []int) bool {
+	inc := false
+	if b.prevSlots && b.prev != nil && b.prev.N() == g.N() {
+		graph.DiffSlotsInto(b.prev, g, b.prevOrder, order, &b.delta)
+		inc = b.eng.RebindSlots(g, b.delta, order)
+	} else {
+		b.eng.BindSlots(g, order)
+	}
+	b.prev = g
+	b.prevSlots = true
+	b.prevOrder = append(b.prevOrder[:0], order...)
 	if inc {
 		b.incremental++
 	} else {

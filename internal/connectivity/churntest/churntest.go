@@ -6,15 +6,22 @@
 // A trace models exactly the membership dynamics of the scenario runner:
 // routing-table edge churn between snapshots, node joins appended in join
 // order, random departures, and adversarial strikes that remove the
-// highest-degree nodes. After every step the live membership is compacted
-// into a dense graph the way snapshot.Capture compacts live nodes, the
-// incremental engines rebind (incrementally when membership is unchanged,
-// fully otherwise), the reference recomputes from scratch, and every
-// answer — the fused Min/Avg snapshot analysis, the deterministic
-// MinPair, and the minimum vertex cut — must be identical. Because the
-// incremental path replaces exact recomputation with in-place reuse, this
-// equivalence IS the correctness argument; the harness runs under -race
-// with both a serial and a wide worker pool.
+// highest-degree nodes. After every step the live membership is captured
+// twice: in stable-slot form the way snapshot.CaptureSlots does (each
+// node holds a persistent vertex slot, tombstoned on departure, recycled
+// for joins), which the incremental engines bind through
+// IncrementalBinder.BindNextSlots, and in canonical dense form the way
+// snapshot.Capture compacts live nodes, which a fresh reference engine
+// binds from scratch. Every answer — the fused Min/Avg snapshot
+// analysis, the deterministic MinPair, and the minimum vertex cut — must
+// be identical in the canonical numbering. Because stable slots keep the
+// vertex space alive across joins, leaves and strikes, the incremental
+// path is asserted to be taken on every step where the slot table did
+// not grow — membership churn included, which is exactly what the
+// pre-slot engine could not do — with zero solver patch fallbacks.
+// Because the incremental path replaces exact recomputation with
+// in-place reuse, this equivalence IS the correctness argument; the
+// harness runs under -race with both a serial and a wide worker pool.
 package churntest
 
 import (
@@ -25,6 +32,7 @@ import (
 
 	"kadre/internal/connectivity"
 	"kadre/internal/graph"
+	"kadre/internal/snapshot"
 )
 
 // Options parameterizes one oracle run.
@@ -44,6 +52,10 @@ type Options struct {
 	// SampleFraction is the analysis sampling c; 0 means 0.5 (high enough
 	// to keep tiny traces informative).
 	SampleFraction float64
+	// MembershipHeavy biases the trace toward joins, leaves and strikes
+	// (about two thirds of steps instead of ~30%), soaking the
+	// membership-crossing rebind path and the slot recycler.
+	MembershipHeavy bool
 	// edgeChurnOnly restricts the trace to routing-table churn, pinning
 	// the all-incremental steady state (test hook).
 	edgeChurnOnly bool
@@ -55,6 +67,13 @@ type Stats struct {
 	// each incremental engine (identical across worker counts).
 	IncrementalBinds int
 	FullBinds        int
+	// MembershipRebinds counts incremental binds that crossed a join,
+	// leave or strike — the steps only stable-slot indexing can patch.
+	MembershipRebinds int
+	// SlotGrowthBinds counts the full binds forced by slot-table growth
+	// (a new all-time-high live count); together with the first bind
+	// they must account for every full bind.
+	SlotGrowthBinds int
 	// Joins, Leaves, Strikes and EdgeChurn count trace events.
 	Joins, Leaves, Strikes, EdgeChurn int
 }
@@ -72,6 +91,9 @@ type trace struct {
 	// in-place solver patching.
 	removedPool [][2]int
 	degree      int
+	// slots assigns persistent vertex slots across captures, exactly the
+	// snapshot layer's stable-slot population indexing.
+	slots snapshot.SlotMap[int]
 }
 
 func newTrace(seed int64, initial, degree int) *trace {
@@ -210,6 +232,19 @@ func (t *trace) compact() *graph.Digraph {
 	return g
 }
 
+// captureSlots builds the stable-slot snapshot graph plus the canonical
+// compaction map through the production capture core
+// (snapshot.BuildSlotGraph) over trace node ids: departed nodes
+// tombstone their slots, joins recycle the lowest vacant slot, and
+// order lists the live nodes' slots in join order.
+func (t *trace) captureSlots() (*graph.Digraph, []int) {
+	return snapshot.BuildSlotGraph(&t.slots, t.alive, func(emit func(u, v int)) {
+		for e := range t.edges {
+			emit(e[0], e[1])
+		}
+	})
+}
+
 // incSide is one incremental engine under test.
 type incSide struct {
 	workers int
@@ -239,15 +274,20 @@ func Run(opts Options) (Stats, error) {
 	bound := false
 
 	for step := 0; step < opts.Steps; step++ {
-		// Mutate: mostly edge churn, occasionally membership events.
+		// Mutate: mostly edge churn, occasionally membership events (or
+		// the reverse mix for membership-heavy soaks).
+		churnP := 0.70
+		if opts.MembershipHeavy {
+			churnP = 0.34
+		}
 		switch r := tr.rng.Float64(); {
-		case opts.edgeChurnOnly || r < 0.70:
+		case opts.edgeChurnOnly || r < churnP:
 			tr.edgeChurn(1 + tr.rng.Intn(2*tr.degree))
 			stats.EdgeChurn++
-		case r < 0.80:
+		case r < churnP+(1-churnP)/3:
 			tr.join()
 			stats.Joins++
-		case r < 0.90:
+		case r < churnP+2*(1-churnP)/3:
 			if len(tr.alive) > 2 {
 				tr.remove(tr.rng.Intn(len(tr.alive)))
 			}
@@ -261,8 +301,15 @@ func Run(opts Options) (Stats, error) {
 		if g.N() <= 1 {
 			continue
 		}
-		same := bound && slices.Equal(prevAlive, tr.alive)
+		sameMembers := bound && slices.Equal(prevAlive, tr.alive)
 		prevAlive = append(prevAlive[:0], tr.alive...)
+		slotsBefore := tr.slots.Len()
+		slotG, order := tr.captureSlots()
+		grew := tr.slots.Len() != slotsBefore
+		expectInc := bound
+		if grew {
+			expectInc = false
+		}
 		bound = true
 
 		// Reference: a fresh engine bound from scratch — the exact
@@ -283,12 +330,16 @@ func Run(opts Options) (Stats, error) {
 		firstInc := false
 		for i := range sides {
 			s := &sides[i]
-			inc := s.binder.BindNext(g, same)
+			inc := s.binder.BindNextSlots(slotG, order)
 			if i == 0 {
 				firstInc = inc
 			} else if inc != firstInc {
 				return stats, fmt.Errorf("step %d: workers=%d took incremental=%v, workers=%d took %v",
 					step, sides[0].workers, firstInc, s.workers, inc)
+			}
+			if inc != expectInc {
+				return stats, fmt.Errorf("step %d (workers=%d): incremental=%v, want %v (slot table %d -> %d; joins/leaves/strikes must rebind incrementally)",
+					step, s.workers, inc, expectInc, slotsBefore, tr.slots.Len())
 			}
 			eng := s.binder.Engine()
 			gotSnap := eng.AnalyzeSnapshot(connectivity.SnapshotQuery{
@@ -321,9 +372,21 @@ func Run(opts Options) (Stats, error) {
 		}
 		if firstInc {
 			stats.IncrementalBinds++
+			if !sameMembers {
+				stats.MembershipRebinds++
+			}
 		} else {
 			stats.FullBinds++
+			if grew && stats.FullBinds > 1 {
+				stats.SlotGrowthBinds++
+			}
 		}
+	}
+	// Every full bind must be accounted for: the first binding plus the
+	// slot-growth boundaries. Anything else is an unexpected fallback.
+	if want := 1 + stats.SlotGrowthBinds; stats.FullBinds != want {
+		return stats, fmt.Errorf("unexpected full binds: %d, want %d (first bind + %d slot growths)",
+			stats.FullBinds, want, stats.SlotGrowthBinds)
 	}
 	return stats, nil
 }

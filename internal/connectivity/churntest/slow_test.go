@@ -13,6 +13,10 @@ func TestDifferentialChurnOracleLong(t *testing.T) {
 		{Seed: 12, Initial: 120, Steps: 100, Degree: 10},
 		{Seed: 13, Initial: 60, Steps: 250, Degree: 6},
 		{Seed: 14, Initial: 40, Steps: 200, Degree: 5, SampleFraction: 1.0},
+		// Membership-heavy soak: long trace over a small network, so the
+		// slot table recycles heavily and most steps are joins, leaves or
+		// strikes rebinding incrementally.
+		{Seed: 15, Initial: 30, Steps: 300, Degree: 6, MembershipHeavy: true},
 	} {
 		stats, err := Run(tc)
 		if err != nil {
@@ -21,6 +25,9 @@ func TestDifferentialChurnOracleLong(t *testing.T) {
 		t.Logf("seed %d: %+v", tc.Seed, stats)
 		if stats.IncrementalBinds == 0 || stats.FullBinds == 0 {
 			t.Fatalf("seed %d: trace did not exercise both binding paths: %+v", tc.Seed, stats)
+		}
+		if stats.MembershipRebinds == 0 {
+			t.Fatalf("seed %d: no membership event rebound incrementally: %+v", tc.Seed, stats)
 		}
 	}
 }

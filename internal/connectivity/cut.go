@@ -1,7 +1,6 @@
 package connectivity
 
 import (
-	"fmt"
 	"sort"
 
 	"kadre/internal/graph"
@@ -32,26 +31,12 @@ func PairCut(g *graph.Digraph, v, w int) ([]int, error) {
 	return eng.PairCut(v, w)
 }
 
-// checkCutPair validates a PairCut query against g.
-func checkCutPair(g *graph.Digraph, v, w int) error {
-	if v == w {
-		return fmt.Errorf("connectivity: cut (%d,%d) has identical endpoints", v, w)
-	}
-	if v < 0 || v >= g.N() || w < 0 || w >= g.N() {
-		return fmt.Errorf("connectivity: cut (%d,%d) out of range [0,%d)", v, w, g.N())
-	}
-	if g.HasEdge(v, w) {
-		return fmt.Errorf("connectivity: vertices %d and %d are adjacent; no vertex cut separates them", v, w)
-	}
-	return nil
-}
-
 // extractCut reads the cut vertices off the residual reachability of the
-// cut-mode network: u is cut when its internal edge crosses from the
-// reachable to the unreachable side.
-func extractCut(g *graph.Digraph, v, w int, reach []bool) []int {
+// n-vertex cut-mode network: u is cut when its internal edge crosses
+// from the reachable to the unreachable side.
+func extractCut(n, v, w int, reach []bool) []int {
 	var cut []int
-	for u := 0; u < g.N(); u++ {
+	for u := 0; u < n; u++ {
 		if u == v || u == w {
 			continue
 		}

@@ -1,6 +1,7 @@
 package connectivity
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -73,12 +74,19 @@ type SnapshotResult struct {
 // binding, where the throwaway-per-call Analyzer pattern rebuilt
 // O(workers*E) state per snapshot.
 //
-// The reuse contract: Bind invalidates all previous binding state and
-// must be called before Analyze/AnalyzeSnapshot/PairCut/GraphCut; the
-// bound graph must not be mutated until the next Bind. An Engine is NOT
-// safe for concurrent use — it parallelizes internally across Workers.
-// Results are deterministic for a given graph and query, independent of
-// the worker count.
+// Graphs bind in one of two styles: Bind takes a dense graph (every
+// vertex live), BindSlots a stable-slot graph plus its canonical
+// compaction map, in which case the engine masks vacant slots and runs
+// every query in compacted rank numbering — answers are interchangeable
+// between the styles. The slot style is what lets Rebind's incremental
+// patching span membership changes (see RebindSlots).
+//
+// The reuse contract: Bind/BindSlots invalidates all previous binding
+// state and must be called before Analyze/AnalyzeSnapshot/PairCut/
+// GraphCut; the bound graph must not be mutated until the next bind. An
+// Engine is NOT safe for concurrent use — it parallelizes internally
+// across Workers. Results are deterministic for a given graph and
+// query, independent of the worker count.
 type Engine struct {
 	algo       maxflow.Algorithm
 	exactAlgo  maxflow.Algorithm
@@ -96,6 +104,24 @@ type Engine struct {
 	// before workers spawn — for solvers that need a full Reset.
 	evenDirty bool
 
+	// Stable-slot (masked) binding state. With BindSlots the bound graph
+	// lives in slot space — one vertex per population slot, vacant slots
+	// isolated — while queries run in the canonical compacted rank space:
+	// masked is true, nact counts the active vertices, slotOrder maps
+	// dense rank -> slot (the capture's compaction map) and rankOf is its
+	// inverse (-1 for vacant slots). For a dense Bind, masked is false
+	// and nact == n with identity numbering. Sweep solvers stay bound to
+	// the slot-space Even transform (flow values are mask-invariant: a
+	// vacant slot's only arc is its never-usable internal edge), but the
+	// cut-mode network is built in rank space via cutEven so extracted
+	// cuts are bit-identical to a fresh bind of the compacted graph.
+	masked    bool
+	nact      int
+	slotOrder []int
+	rankOf    []int32
+	cutEven   []graph.Edge
+	cutDirty  bool // rank-space cut edge list stale (masked mode only)
+
 	workers   []engineWorker
 	cutSolver *maxflow.DinicSolver
 	cutGen    uint64
@@ -107,6 +133,7 @@ type Engine struct {
 	cutAddSrc, cutRemSrc evenDeltaSource
 	rebinds              int
 	rebindFallbacks      int
+	memberRebinds        int
 
 	// Selection and sweep scratch, reused across bindings.
 	rng      *rand.Rand
@@ -184,17 +211,25 @@ func (s *cutEdgeSource) EdgeAt(i int) (int, int, int32) {
 // evenDeltaSource presents an original-space edge delta in Even-transform
 // coordinates with a fixed capacity — 1 for the sweep solvers, the cut
 // network's big capacity for the cut solver. Only original edges appear
-// in deltas (internal edges exist iff the vertex does, and Rebind keeps
-// the vertex set), so the (Out(u), In(v)) shape is always right.
+// in deltas (internal edges exist for every slot regardless of activity,
+// and Rebind keeps the slot space), so the (Out(u), In(v)) shape is
+// always right. A non-nil rank table additionally translates slot
+// endpoints into compacted rank numbering — the coordinate space of the
+// cut network under a masked binding.
 type evenDeltaSource struct {
 	edges []graph.Edge
 	cap   int32
+	rank  []int32
 }
 
 func (s *evenDeltaSource) NumEdges() int { return len(s.edges) }
 func (s *evenDeltaSource) EdgeAt(i int) (int, int, int32) {
 	e := s.edges[i]
-	return graph.Out(e.U), graph.In(e.V), s.cap
+	u, v := e.U, e.V
+	if s.rank != nil {
+		u, v = int(s.rank[u]), int(s.rank[v])
+	}
+	return graph.Out(u), graph.In(v), s.cap
 }
 
 // NewEngine validates options and returns an unbound Engine.
@@ -230,13 +265,77 @@ func MustNewEngine(opts EngineOptions) *Engine {
 // list into the engine's reused buffer and schedules every solver for an
 // in-place rebind on first use. g must not be mutated while bound.
 func (e *Engine) Bind(g *graph.Digraph) {
+	e.bindFull(g, nil)
+}
+
+// BindSlots points the engine at a stable-slot graph: g has one vertex
+// per population slot (vacant slots isolated) and order lists the active
+// slots in canonical capture order — snapshot.SlotSnapshot's compaction
+// map. Every query then runs in compacted rank space: sources, MinPair
+// and cuts are reported in exactly the numbering a dense Bind of the
+// compacted graph would use, so results are interchangeable between the
+// two binding styles — what lets stable-slot rebinding hide behind the
+// golden fixtures. g and order must not be mutated while bound.
+func (e *Engine) BindSlots(g *graph.Digraph, order []int) {
+	e.bindFull(g, order)
+}
+
+func (e *Engine) bindFull(g *graph.Digraph, order []int) {
 	e.g = g
 	e.n = g.N()
+	e.setOrder(order)
 	e.even = g.AppendEvenEdges(e.even[:0])
 	e.evenSrc.edges = e.even
-	e.cutSrc = cutEdgeSource{edges: e.even, internal: e.n, big: int32(e.n + 1)}
+	if e.masked {
+		e.cutDirty = true
+	} else {
+		e.cutSrc = cutEdgeSource{edges: e.even, internal: e.n, big: int32(e.n + 1)}
+		e.cutDirty = false
+	}
 	e.evenDirty = false
 	e.gen++
+}
+
+// setOrder installs the rank <-> slot maps for a masked binding, or
+// resets to dense identity numbering when order is nil.
+func (e *Engine) setOrder(order []int) {
+	if order == nil {
+		e.masked = false
+		e.nact = e.n
+		e.slotOrder = e.slotOrder[:0]
+		return
+	}
+	e.masked = true
+	e.nact = len(order)
+	e.slotOrder = append(e.slotOrder[:0], order...)
+	if cap(e.rankOf) < e.n {
+		e.rankOf = make([]int32, e.n)
+	}
+	e.rankOf = e.rankOf[:e.n]
+	for i := range e.rankOf {
+		e.rankOf[i] = -1
+	}
+	for r, s := range order {
+		if s < 0 || s >= e.n || e.rankOf[s] >= 0 {
+			panic(fmt.Sprintf("connectivity: invalid slot order entry %d at rank %d", s, r))
+		}
+		e.rankOf[s] = int32(r)
+	}
+}
+
+// vtx translates a dense rank to the bound graph's vertex number: the
+// identity for dense bindings, the slot for masked ones.
+func (e *Engine) vtx(r int) int {
+	if !e.masked {
+		return r
+	}
+	return e.slotOrder[r]
+}
+
+// isCompleteActive reports whether every ordered pair of distinct ACTIVE
+// vertices is an edge (IsComplete on the compacted graph).
+func (e *Engine) isCompleteActive() bool {
+	return e.g.M() == e.nact*(e.nact-1)
 }
 
 // Rebind points the engine at g incrementally: g must be the currently
@@ -257,14 +356,54 @@ func (e *Engine) Bind(g *graph.Digraph) {
 // lazily re-initialized from the rebuilt Even list on next use; the
 // engine stays consistent either way.
 func (e *Engine) Rebind(g *graph.Digraph, delta graph.Delta) bool {
-	if e.g == nil || g.N() != e.n {
+	if e.g == nil || g.N() != e.n || e.masked {
 		e.Bind(g)
 		return false
 	}
+	e.rebindEdges(g, delta, true)
+	return true
+}
+
+// RebindSlots is Rebind for stable-slot bindings: g must be the bound
+// slot graph plus delta (same slot count), and order the new capture's
+// compaction map. Unlike Rebind, the membership may have changed — that
+// is the point: joins, leaves and strikes keep their slots' identities,
+// so the sweep solvers still patch in place from the edge delta alone,
+// and only the rank-space structures follow the new order. The cut-mode
+// network is patched too while the membership (and with it the rank
+// numbering) is unchanged; a membership change leaves it stale for a
+// lazy rank-space rebuild on the next cut query — the verified fallback,
+// since cut queries are off the per-snapshot hot path.
+//
+// With no previous binding or a different slot count (the slot table
+// grew), RebindSlots falls back to BindSlots and reports false.
+func (e *Engine) RebindSlots(g *graph.Digraph, delta graph.Delta, order []int) bool {
+	if e.g == nil || g.N() != e.n {
+		e.BindSlots(g, order)
+		return false
+	}
+	sameMembership := e.masked && slices.Equal(e.slotOrder, order)
+	e.rebindEdges(g, delta, sameMembership)
+	if !sameMembership {
+		e.setOrder(order)
+		e.memberRebinds++
+	}
+	return true
+}
+
+// rebindEdges patches every live solver with the slot-space edge delta
+// and advances the binding generation. patchCut additionally patches the
+// cut-mode network (legal only while its coordinate numbering survives
+// the transition: always for dense rebinds, same-membership only for
+// masked ones).
+func (e *Engine) rebindEdges(g *graph.Digraph, delta graph.Delta, patchCut bool) {
 	e.g = g
 	prevGen := e.gen
 	e.gen++
 	e.evenDirty = true
+	if e.masked {
+		e.cutDirty = true
+	}
 	e.rebinds++
 	e.addSrc = evenDeltaSource{edges: delta.Added, cap: 1}
 	e.remSrc = evenDeltaSource{edges: delta.Removed, cap: 1}
@@ -286,10 +425,15 @@ func (e *Engine) Rebind(g *graph.Digraph, delta graph.Delta) bool {
 		}
 	}
 	// The cut-mode network revives original edges at the big capacity
-	// that keeps minimum cuts on internal edges.
-	if e.cutSolver != nil && e.cutGen == prevGen {
-		e.cutAddSrc = evenDeltaSource{edges: delta.Added, cap: e.cutSrc.big}
-		e.cutRemSrc = evenDeltaSource{edges: delta.Removed, cap: e.cutSrc.big}
+	// that keeps minimum cuts on internal edges; under a masked binding
+	// its coordinates are ranks, so the delta is translated on the fly.
+	if patchCut && e.cutSolver != nil && e.cutGen == prevGen {
+		var rank []int32
+		if e.masked {
+			rank = e.rankOf
+		}
+		e.cutAddSrc = evenDeltaSource{edges: delta.Added, cap: e.cutSrc.big, rank: rank}
+		e.cutRemSrc = evenDeltaSource{edges: delta.Removed, cap: e.cutSrc.big, rank: rank}
 		if e.cutSolver.ApplyUnitDelta(&e.cutAddSrc, &e.cutRemSrc) {
 			e.cutGen = e.gen
 		} else {
@@ -298,15 +442,22 @@ func (e *Engine) Rebind(g *graph.Digraph, delta graph.Delta) bool {
 		e.cutAddSrc.edges, e.cutRemSrc.edges = nil, nil
 	}
 	e.addSrc.edges, e.remSrc.edges = nil, nil
-	return true
 }
 
 // Rebinds reports how many incremental rebinds the engine performed.
 func (e *Engine) Rebinds() int { return e.rebinds }
 
+// MembershipRebinds reports how many incremental rebinds crossed a
+// membership change (joins, leaves or strikes between captures) — the
+// binds that, before stable-slot indexing, were forced onto the full
+// Bind path.
+func (e *Engine) MembershipRebinds() int { return e.memberRebinds }
+
 // RebindFallbacks reports how many solver patches failed during rebinds,
-// forcing a lazy full re-initialization of that solver. The steady-state
-// regression tests pin this to zero for pure tombstone/revive churn.
+// forcing a lazy full re-initialization of that solver. Since arc-region
+// relocation absorbed slack exhaustion, a patch fails only on a delta
+// inconsistent with the bound graph — a wiring bug — so the churn oracle
+// and the steady-state regression tests pin this to zero outright.
 func (e *Engine) RebindFallbacks() int { return e.rebindFallbacks }
 
 // ensureEven rebuilds the Even edge list after a Rebind marked it stale.
@@ -318,8 +469,28 @@ func (e *Engine) ensureEven() {
 	}
 	e.even = e.g.AppendEvenEdges(e.even[:0])
 	e.evenSrc.edges = e.even
-	e.cutSrc.edges = e.even
+	if !e.masked {
+		e.cutSrc.edges = e.even
+	}
 	e.evenDirty = false
+}
+
+// ensureCut readies cutSrc for (re)building the cut-mode network: the
+// shared slot-space Even list under a dense binding, the compacted
+// rank-space list under a masked one — the numbering in which cut
+// queries are asked and answered, and the reason a masked engine's cuts
+// match a fresh bind of the compacted graph arc for arc.
+func (e *Engine) ensureCut() {
+	if !e.masked {
+		e.ensureEven()
+		e.cutSrc = cutEdgeSource{edges: e.even, internal: e.n, big: int32(e.n + 1)}
+		return
+	}
+	if e.cutDirty {
+		e.cutEven = e.g.AppendEvenEdgesCompact(e.cutEven[:0], e.slotOrder, e.rankOf)
+		e.cutDirty = false
+	}
+	e.cutSrc = cutEdgeSource{edges: e.cutEven, internal: e.nact, big: int32(e.nact + 1)}
 }
 
 // CutNetworkBuilds reports how many times the engine constructed its
@@ -364,11 +535,11 @@ func (e *Engine) Analyze(q Query) Result {
 	if e.g == nil {
 		panic("connectivity: Engine.Analyze before Bind")
 	}
-	n := e.n
+	n := e.nact
 	if n <= 1 {
 		return Result{N: n, Complete: true, MinPair: [2]int{-1, -1}}
 	}
-	if e.g.IsComplete() {
+	if e.isCompleteActive() {
 		return Result{N: n, Min: n - 1, Avg: float64(n - 1), Complete: true, MinPair: [2]int{-1, -1}}
 	}
 	if q.Selection == 0 {
@@ -408,12 +579,12 @@ func (e *Engine) AnalyzeSnapshot(q SnapshotQuery) SnapshotResult {
 	if e.g == nil {
 		panic("connectivity: Engine.AnalyzeSnapshot before Bind")
 	}
-	n := e.n
+	n := e.nact
 	if n <= 1 {
 		r := Result{N: n, Complete: true, MinPair: [2]int{-1, -1}}
 		return SnapshotResult{Min: r, Avg: r}
 	}
-	if e.g.IsComplete() {
+	if e.isCompleteActive() {
 		r := Result{N: n, Min: n - 1, Avg: float64(n - 1), Complete: true, MinPair: [2]int{-1, -1}}
 		return SnapshotResult{Min: r, Avg: r}
 	}
@@ -451,12 +622,12 @@ func (e *Engine) runSweep(tasks []sweepTask) {
 	}
 	st := &e.state
 	st.next = 0
-	st.running = e.n
+	st.running = e.nact
 	for _, t := range tasks {
 		if t.exact {
 			continue
 		}
-		if d := e.g.OutDegree(t.src); d < e.n-1 && d < st.running {
+		if d := e.g.OutDegree(e.vtx(t.src)); d < e.nact-1 && d < st.running {
 			st.running = d
 		}
 	}
@@ -509,9 +680,13 @@ type sweepState struct {
 }
 
 // sweepWorker drains tasks, writing results[idx] for each claimed task
-// (distinct indices, so no result locking is needed).
+// (distinct indices, so no result locking is needed). Sources, targets
+// and recorded pairs are dense ranks; only the solver coordinates and
+// adjacency probes translate through vtx to the bound graph's numbering,
+// so a masked sweep records exactly what a dense sweep of the compacted
+// graph would.
 func (e *Engine) sweepWorker(w int, tasks []sweepTask, st *sweepState) {
-	n := e.n
+	n := e.nact
 	g := e.g
 	for {
 		st.mu.Lock()
@@ -526,25 +701,27 @@ func (e *Engine) sweepWorker(w int, tasks []sweepTask, st *sweepState) {
 
 		task := tasks[idx]
 		src := task.src
+		srcV := e.vtx(src)
 		res := taskResult{
 			min: n, minPair: [2]int{-1, -1},
 			exactMin: n, exactMinTgt: n,
 			cappedMin: n, cappedMinTgt: n,
 		}
 		solver := e.solverFor(w, task.exact)
-		solver.PrepareSource(graph.Out(src))
+		solver.PrepareSource(graph.Out(srcV))
 		for tgt := 0; tgt < n; tgt++ {
-			if tgt == src || g.HasEdge(src, tgt) {
+			tgtV := e.vtx(tgt)
+			if tgtV == srcV || g.HasEdge(srcV, tgtV) {
 				continue
 			}
 			var flow int
 			if task.exact {
-				flow = solver.MaxFlow(graph.Out(src), graph.In(tgt))
+				flow = solver.MaxFlow(graph.Out(srcV), graph.In(tgtV))
 				if flow < res.exactMin {
 					res.exactMin, res.exactMinTgt = flow, tgt
 				}
 			} else {
-				flow = solver.MaxFlowLimit(graph.Out(src), graph.In(tgt), limit)
+				flow = solver.MaxFlowLimit(graph.Out(srcV), graph.In(tgtV), limit)
 				if flow < limit {
 					// The cap did not bind: the value is exact.
 					if flow < res.exactMin {
@@ -581,7 +758,7 @@ func (e *Engine) sweepWorker(w int, tasks []sweepTask, st *sweepState) {
 // combine folds task results into a Result with the Analyzer's exact
 // semantics, including the sample-yielded-no-information fallback.
 func (e *Engine) combine(results []taskResult, sources int) Result {
-	n := e.n
+	n := e.nact
 	out := Result{N: n, Min: n, MinPair: [2]int{-1, -1}, Sources: sources}
 	var sum int64
 	for i := range results {
@@ -618,7 +795,7 @@ func (e *Engine) combine(results []taskResult, sources int) Result {
 // just that window with cap min+1. This replaces the bounded second
 // sweep (lexMinPair) the previous revision ran over every source.
 func (e *Engine) resolveMinPair(tasks []sweepTask, results []taskResult, min int) [2]int {
-	n := e.n
+	n := e.nact
 	idxs := e.idxBuf[:0]
 	for i := range tasks {
 		if !tasks[i].exact {
@@ -631,6 +808,7 @@ func (e *Engine) resolveMinPair(tasks []sweepTask, results []taskResult, min int
 	for _, ti := range idxs {
 		r := &results[ti]
 		src := tasks[ti].src
+		srcV := e.vtx(src)
 		exTgt := n
 		if r.exactMin == min {
 			exTgt = r.exactMinTgt
@@ -643,12 +821,13 @@ func (e *Engine) resolveMinPair(tasks []sweepTask, results []taskResult, min int
 			if solver == nil {
 				solver = e.solverFor(0, false)
 			}
-			solver.PrepareSource(graph.Out(src))
+			solver.PrepareSource(graph.Out(srcV))
 			for tgt := amTgt; tgt < exTgt; tgt++ {
-				if tgt == src || e.g.HasEdge(src, tgt) {
+				tgtV := e.vtx(tgt)
+				if tgtV == srcV || e.g.HasEdge(srcV, tgtV) {
 					continue
 				}
-				if solver.MaxFlowLimit(graph.Out(src), graph.In(tgt), min+1) == min {
+				if solver.MaxFlowLimit(graph.Out(srcV), graph.In(tgtV), min+1) == min {
 					return [2]int{src, tgt}
 				}
 			}
@@ -676,10 +855,10 @@ func sampleCount(c float64, n int) int {
 	return count
 }
 
-// pickSources returns the flow sources for one Analyze query, reusing
-// the engine's scratch buffers.
+// pickSources returns the flow sources (dense ranks) for one Analyze
+// query, reusing the engine's scratch buffers.
 func (e *Engine) pickSources(c float64, sel SourceSelection, seed int64) []int {
-	n := e.n
+	n := e.nact
 	if c <= 0 || c >= 1 {
 		if cap(e.allBuf) < n {
 			e.allBuf = make([]int, n)
@@ -697,12 +876,13 @@ func (e *Engine) pickSources(c float64, sel SourceSelection, seed int64) []int {
 	return e.smallestOutDegreeSources(count)
 }
 
-// smallestOutDegreeSources returns the count vertices with smallest
-// out-degree, ties broken by index — the paper's §5.2 heuristic. A
-// counting sort by degree (stable in vertex order) reproduces the
-// historical sort.SliceStable order with zero allocations.
+// smallestOutDegreeSources returns the count active vertices (as dense
+// ranks) with smallest out-degree, ties broken by rank — the paper's
+// §5.2 heuristic. A counting sort by degree (stable in rank order)
+// reproduces the historical sort.SliceStable order with zero
+// allocations.
 func (e *Engine) smallestOutDegreeSources(count int) []int {
-	n := e.n
+	n := e.nact
 	if cap(e.degCount) < n {
 		e.degCount = make([]int32, n)
 	}
@@ -711,7 +891,7 @@ func (e *Engine) smallestOutDegreeSources(count int) []int {
 		cnt[i] = 0
 	}
 	for v := 0; v < n; v++ {
-		cnt[e.g.OutDegree(v)]++
+		cnt[e.g.OutDegree(e.vtx(v))]++
 	}
 	var total int32
 	for d := 0; d < n; d++ {
@@ -724,18 +904,18 @@ func (e *Engine) smallestOutDegreeSources(count int) []int {
 	}
 	order := e.orderBuf[:n]
 	for v := 0; v < n; v++ {
-		d := e.g.OutDegree(v)
+		d := e.g.OutDegree(e.vtx(v))
 		order[cnt[d]] = v
 		cnt[d]++
 	}
 	return order[:count]
 }
 
-// uniformSources returns count seeded uniform sources, replicating
-// rand.Rand.Perm exactly (including the i=0 draw) so seeded runs keep
-// their historical source sets.
+// uniformSources returns count seeded uniform sources (dense ranks),
+// replicating rand.Rand.Perm exactly (including the i=0 draw) so seeded
+// runs keep their historical source sets.
 func (e *Engine) uniformSources(count int, seed int64) []int {
-	n := e.n
+	n := e.nact
 	e.rng.Seed(seed)
 	if cap(e.permBuf) < n {
 		e.permBuf = make([]int, n)
@@ -750,30 +930,38 @@ func (e *Engine) uniformSources(count int, seed int64) []int {
 }
 
 // PairCut returns a minimum vertex cut separating w from v on the bound
-// graph, with the semantics of the package-level PairCut. The cut-mode
-// flow network is cached: the first call builds it, later calls — and
-// later bindings — reinitialize it in place, so an adversary striking
-// once per snapshot stops paying a network construction per strike.
+// graph, with the semantics of the package-level PairCut. Under a masked
+// binding v and w are dense ranks and so is the returned cut. The
+// cut-mode flow network is cached: the first call builds it, later
+// calls — and later bindings — reinitialize it in place, so an
+// adversary striking once per snapshot stops paying a network
+// construction per strike.
 func (e *Engine) PairCut(v, w int) ([]int, error) {
 	if e.g == nil {
 		panic("connectivity: Engine.PairCut before Bind")
 	}
-	if err := checkCutPair(e.g, v, w); err != nil {
-		return nil, err
+	if v == w {
+		return nil, fmt.Errorf("connectivity: cut (%d,%d) has identical endpoints", v, w)
+	}
+	if v < 0 || v >= e.nact || w < 0 || w >= e.nact {
+		return nil, fmt.Errorf("connectivity: cut (%d,%d) out of range [0,%d)", v, w, e.nact)
+	}
+	if e.g.HasEdge(e.vtx(v), e.vtx(w)) {
+		return nil, fmt.Errorf("connectivity: vertices %d and %d are adjacent; no vertex cut separates them", v, w)
 	}
 	if e.cutSolver == nil {
-		e.ensureEven()
-		e.cutSolver = maxflow.NewDinicSource(2*e.n, &e.cutSrc)
+		e.ensureCut()
+		e.cutSolver = maxflow.NewDinicSource(2*e.nact, &e.cutSrc)
 		e.cutGen = e.gen
 		e.cutBuilds++
 	} else if e.cutGen != e.gen {
-		e.ensureEven()
-		e.cutSolver.Reset(2*e.n, &e.cutSrc)
+		e.ensureCut()
+		e.cutSolver.Reset(2*e.nact, &e.cutSrc)
 		e.cutGen = e.gen
 	}
 	e.cutSolver.MaxFlow(graph.Out(v), graph.In(w))
 	reach := e.cutSolver.ResidualReachable(graph.Out(v))
-	return extractCut(e.g, v, w, reach), nil
+	return extractCut(e.nact, v, w, reach), nil
 }
 
 // GraphCut returns a minimum vertex cut of the bound graph, with the

@@ -93,6 +93,55 @@ func TestEngineRebindSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestEngineSlotRebindSteadyStateAllocs pins the stable-slot incremental
+// path's reuse contract: alternating between two slot captures that
+// differ by a MEMBERSHIP change (one node replaced by another recycling
+// its slot, plus the edge churn that implies) must, once warm, not
+// allocate at all — the delta scratch, order/rank maps and solver
+// patches all live in reused buffers. Region relocation is the one
+// sanctioned allocation and only fires when a slot's occupant outgrows
+// every predecessor, which an alternating pair cannot do after warm-up.
+func TestEngineSlotRebindSteadyStateAllocs(t *testing.T) {
+	w := newSlotWorld(9, 40, 5)
+	gA, orderA, _ := w.capture()
+	w.leave()
+	w.join(5)
+	gB, orderB, _ := w.capture()
+	if gA.N() != gB.N() {
+		t.Fatalf("slot count changed across the leave+join: %d -> %d", gA.N(), gB.N())
+	}
+	eng := MustNewEngine(EngineOptions{Workers: 1})
+	binder := NewIncrementalBinder(eng)
+	step := func(g *graph.Digraph, order []int) {
+		if !binder.BindNextSlots(g, order) && binder.FullBinds() > 1 {
+			t.Fatal("BindNextSlots fell back during steady state")
+		}
+		eng.AnalyzeSnapshot(SnapshotQuery{SampleFraction: 0.05, AvgSeed: 3})
+	}
+	step(gA, orderA)
+	step(gB, orderB) // warm-up: delta buffers, order copies, slack claims
+	step(gA, orderA)
+	step(gB, orderB)
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		if i%2 == 0 {
+			step(gA, orderA)
+		} else {
+			step(gB, orderB)
+		}
+		i++
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state slot diff+RebindSlots+AnalyzeSnapshot allocates %.1f times per run, want 0", allocs)
+	}
+	if fb := eng.RebindFallbacks(); fb != 0 {
+		t.Fatalf("rebind patch fallbacks = %d, want 0", fb)
+	}
+	if eng.MembershipRebinds() == 0 {
+		t.Fatal("alternating captures never crossed a membership change")
+	}
+}
+
 // TestEngineSnapshotAndCutAllocs bounds the fused snapshot analysis plus
 // a GraphCut — one cutset-adversary strike — to the unavoidable result
 // allocations (the returned cut slice and the reachability scratch),

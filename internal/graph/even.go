@@ -42,6 +42,34 @@ func EvenEdges(g *Digraph) []Edge {
 	return g.AppendEvenEdges(make([]Edge, 0, g.N()+g.M()))
 }
 
+// AppendEvenEdgesCompact appends the Even-transformed edge list of the
+// graph's active subgraph in COMPACTED rank numbering: order maps dense
+// rank -> vertex (the active vertices in canonical order) and rank is
+// its inverse. The output is exactly what AppendEvenEdges would produce
+// for the densely renumbered subgraph — n internal edges in rank order,
+// then the original edges sorted by rank pair — which is what keeps
+// analyses (and extracted cuts) on a stable-slot binding bit-identical
+// to a fresh bind of the canonical compacted graph. Every edge of g must
+// join vertices listed in order.
+func (g *Digraph) AppendEvenEdgesCompact(buf []Edge, order []int, rank []int32) []Edge {
+	for r := range order {
+		buf = append(buf, Edge{U: In(r), V: Out(r)})
+	}
+	start := len(buf)
+	for r, u := range order {
+		for v := range g.adj[u] {
+			buf = append(buf, Edge{U: Out(r), V: In(int(rank[v]))})
+		}
+	}
+	slices.SortFunc(buf[start:], func(a, b Edge) int {
+		if a.U != b.U {
+			return cmp.Compare(a.U, b.U)
+		}
+		return cmp.Compare(a.V, b.V)
+	})
+	return buf
+}
+
 // AppendEvenEdges appends the Even-transformed edge list to buf and
 // returns the extended slice. It produces exactly the edges of EvenEdges
 // in the same deterministic order — the n internal edges (v', v”) in

@@ -158,6 +158,25 @@ func (g *Digraph) SymmetryRatio() float64 {
 	return float64(sym) / float64(g.m)
 }
 
+// Equal reports whether g and h have the same vertex count and the same
+// edge set.
+func (g *Digraph) Equal(h *Digraph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) != len(h.adj[u]) {
+			return false
+		}
+		for v := range g.adj[u] {
+			if _, ok := h.adj[u][v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Digraph) Clone() *Digraph {
 	out := NewDigraph(g.n)

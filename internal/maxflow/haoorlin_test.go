@@ -194,29 +194,84 @@ func TestApplyUnitDeltaMatchesRebuild(t *testing.T) {
 	}
 }
 
+// TestApplyUnitDeltaRelocatesOnSlackOverflow pins the region-relocation
+// contract: a burst of novel edges at one vertex beyond its arcSlack —
+// the shape of a population slot being revived by a higher-degree
+// occupant — must still patch in place, and the patched solver must
+// answer (and leave residuals) exactly like a freshly built one.
+func TestApplyUnitDeltaRelocatesOnSlackOverflow(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := 12
+	g, even := evenGraph(r, n, 2)
+	for _, algo := range []Algorithm{Dinic, PushRelabel, HaoOrlin} {
+		s := algo.NewSolver(2*n, even)
+		// Overflow vertex 0's slack: more novel out-edges than arcSlack.
+		var add EdgeSlice
+		edited := g.Clone()
+		for v := 1; v < n && len(add) < arcSlack+2; v++ {
+			if !g.HasEdge(0, v) {
+				add = append(add, Edge{U: graph.Out(0), V: graph.In(v), Cap: 1})
+				edited.AddEdge(0, v)
+			}
+		}
+		if len(add) <= arcSlack {
+			t.Fatalf("test graph too dense to exhaust slack (%d novel edges)", len(add))
+		}
+		if !s.(UnitDeltaApplier).ApplyUnitDelta(add, EdgeSlice{}) {
+			t.Fatalf("%s: ApplyUnitDelta should relocate the region, not fail, on slack overflow", algo)
+		}
+		newEven := unitEven(edited)
+		fresh := NewDinic(2*n, newEven)
+		for q := 0; q < 10; q++ {
+			src, tgt := r.Intn(n), r.Intn(n)
+			if src == tgt {
+				continue
+			}
+			want := fresh.MaxFlow(graph.Out(src), graph.In(tgt))
+			if got := s.MaxFlow(graph.Out(src), graph.In(tgt)); got != want {
+				t.Fatalf("%s: after relocating patch, (%d,%d): got %d, want %d", algo, src, tgt, got, want)
+			}
+		}
+		if d, ok := s.(*DinicSolver); ok {
+			fd := NewDinic(2*n, newEven)
+			src, tgt := 1, n-1
+			if !edited.HasEdge(src, tgt) {
+				if pv, fv := d.MaxFlow(graph.Out(src), graph.In(tgt)), fd.MaxFlow(graph.Out(src), graph.In(tgt)); pv != fv {
+					t.Fatalf("relocated cut-pair flow %d != %d", pv, fv)
+				}
+				pr := d.ResidualReachable(graph.Out(src))
+				fr := fd.ResidualReachable(graph.Out(src))
+				for v := range pr {
+					if pr[v] != fr[v] {
+						t.Fatalf("relocated residual reachability diverged at vertex %d", v)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestApplyUnitDeltaAtomicOnFailure pins the fallback contract: a delta
-// that cannot be patched (slack exhausted at one vertex) must leave the
-// solver answering for the OLD graph, so the engine's lazy full Reset
-// sees consistent state.
+// inconsistent with the bound graph (here, a removal of an edge that
+// does not exist) must be rejected with the solver still answering for
+// the OLD graph, so the engine's lazy full Reset sees consistent state.
 func TestApplyUnitDeltaAtomicOnFailure(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	n := 12
 	g, even := evenGraph(r, n, 2)
 	s := NewHaoOrlin(2*n, even)
-	// Overflow vertex 0's slack: more novel out-edges than arcSlack.
-	var add EdgeSlice
-	cnt := 0
-	for v := 1; v < n && cnt < arcSlack+2; v++ {
-		if !g.HasEdge(0, v) {
-			add = append(add, Edge{U: graph.Out(0), V: graph.In(v), Cap: 1})
-			cnt++
+	var u, v int
+	for u = 0; u < n; u++ {
+		for v = 1; v < n; v++ {
+			if u != v && !g.HasEdge(u, v) {
+				goto found
+			}
 		}
 	}
-	if len(add) <= arcSlack {
-		t.Fatalf("test graph too dense to exhaust slack (%d novel edges)", len(add))
-	}
-	if s.ApplyUnitDelta(add, EdgeSlice{}) {
-		t.Fatal("ApplyUnitDelta should report failure when slack is exhausted")
+found:
+	rem := EdgeSlice{{U: graph.Out(u), V: graph.In(v), Cap: 1}}
+	if s.ApplyUnitDelta(EdgeSlice{}, rem) {
+		t.Fatal("ApplyUnitDelta should report failure for a removal of a missing edge")
 	}
 	// The solver must still answer for the old graph.
 	fresh := NewDinic(2*n, even)

@@ -89,13 +89,22 @@ type Solver interface {
 // re-binding through Reset. Removed edges are tombstoned — their arcs
 // keep their slots with capacity zero, preserving the arc layout and
 // with it the solver's deterministic traversal order — and added edges
-// revive a previously tombstoned slot or claim per-vertex slack. When the
-// delta cannot be applied (an unknown removal, or slack exhausted),
-// ApplyUnitDelta reports false WITHOUT modifying the bound graph — the
-// verification pass precedes any write — and the caller falls back to a
-// full Reset. Query-level caches (warm-start preflows, prepared sources)
-// may be dropped even on failure; the solver keeps answering correctly
-// for the old binding either way.
+// revive a previously tombstoned slot or claim per-vertex slack. A
+// vertex tombstone/revive rides on the same mechanism: removing every
+// incident edge of a vertex leaves it isolated with its arc slots kept
+// (the tombstoned vertex), and a later burst of additions at that vertex
+// — a fresh population member recycling the slot — revives matching
+// slots and claims slack for the rest. When a burst outgrows a vertex's
+// slack, the vertex's whole arc region is relocated to fresh space with
+// new headroom (amortized O(deg), preserving live-arc order), so
+// membership-sized deltas always apply. ApplyUnitDelta reports false
+// only for deltas that are inconsistent with the bound graph (an unknown
+// removal, an addition colliding with a live arc, an out-of-range
+// endpoint) WITHOUT logically modifying the bound graph — the
+// verification pass precedes any capacity write — and the caller falls
+// back to a full Reset. Query-level caches (warm-start preflows,
+// prepared sources) may be dropped even on failure; the solver keeps
+// answering correctly for the old binding either way.
 //
 // The adjacent-snapshot contract: both sources name edges of the solver's
 // coordinate space (for the connectivity engine, Even-transformed edges),
@@ -192,19 +201,25 @@ const arcSlack = 8
 // bit-for-bit identical to earlier revisions.
 //
 // A vertex's live arcs occupy [first[v], last[v]); the remainder of its
-// region up to first[v+1] is insertion slack (self-partnered zero arcs,
+// region up to bound[v] is insertion slack (self-partnered zero arcs,
 // never traversed). Edge deltas mutate the store in place: removals
 // tombstone an arc (capacity zero, slot kept, preserving traversal
 // order), additions revive a tombstone or claim a slack slot at the
-// position a fresh build would have used.
+// position a fresh build would have used. A delta that outgrows a
+// vertex's slack relocates that vertex's region to fresh space at the
+// array tail (see relocate), so regions are NOT necessarily laid out in
+// vertex order after patching — only [first[v], bound[v]) per vertex is
+// meaningful, and abandoned regions stay behind as dead zero arcs that
+// whole-array passes tolerate.
 type arcStore struct {
 	n     int
 	to    []int32 // arc -> head vertex
 	cap   []int32 // arc -> residual capacity (mutated during a query)
 	cap0  []int32 // arc -> original capacity (for reset between queries)
 	rev   []int32 // arc -> its reverse arc
-	first []int32 // vertex -> first arc index; first[n] bounds the arrays
+	first []int32 // vertex -> first arc index; first[n] bounds the fresh build
 	last  []int32 // vertex -> one past its last live arc
+	bound []int32 // vertex -> one past its slack region (first[v+1] at init)
 	// dirty records arcs whose residual capacity changed since the last
 	// reset, so resetTouched restores only what a query actually moved —
 	// augmenting a handful of unit paths instead of copying the whole
@@ -225,6 +240,7 @@ func (s *arcStore) init(n int, edges EdgeSource) {
 	s.n = n
 	s.first = growInt32(s.first, n+1)
 	s.last = growInt32(s.last, n)
+	s.bound = growInt32(s.bound, n)
 	for i := range s.first {
 		s.first[i] = 0
 	}
@@ -245,6 +261,7 @@ func (s *arcStore) init(n int, edges EdgeSource) {
 		s.first[v] = total
 		s.last[v] = total + deg
 		total += deg + arcSlack
+		s.bound[v] = total
 	}
 	s.first[n] = total
 	s.to = growInt32(s.to, int(total))
@@ -270,7 +287,7 @@ func (s *arcStore) init(n int, edges EdgeSource) {
 	// passes (capacity copies, mirror rebuilds) and invisible to
 	// traversal, which stops at last[v].
 	for v := 0; v < n; v++ {
-		for q := s.last[v]; q < s.first[v+1]; q++ {
+		for q := s.last[v]; q < s.bound[v]; q++ {
 			s.to[q] = 0
 			s.cap[q] = 0
 			s.rev[q] = q
@@ -319,7 +336,7 @@ func (s *arcStore) findArc(u, v int32) int32 {
 // insertSlot opens a slot for a new arc (u -> head) at the position a
 // fresh build would have used, shifting later arcs right into the slack
 // region and re-aiming their partners' rev pointers. The caller must have
-// checked slack availability (last[u] < first[u+1]).
+// checked slack availability (last[u] < bound[u]).
 //
 // Position rule: live and tombstoned arcs after the region's first slot
 // are ordered by ascending head for the Even-transformed graphs the
@@ -344,6 +361,43 @@ func (s *arcStore) insertSlot(u, head int32) int32 {
 	}
 	s.last[u]++
 	return pos
+}
+
+// relocate moves u's arc region to fresh space at the array tail, with
+// room for extra more arcs plus renewed arcSlack. Live and tombstoned
+// arcs keep their relative order (the traversal-order contract), partner
+// rev pointers are re-aimed, and the abandoned region is zeroed into
+// dead self-partnered arcs that no per-vertex loop ever visits again.
+// This is what lets a vertex tombstone/revive cycle — a population slot
+// whose new occupant has more edges than the old one's region can hold —
+// patch in place instead of forcing a full rebuild.
+func (s *arcStore) relocate(u, extra int32) {
+	size := s.last[u] - s.first[u]
+	newCap := size + extra + arcSlack
+	start := int32(len(s.to))
+	for i := int32(0); i < newCap; i++ {
+		s.to = append(s.to, 0)
+		s.cap = append(s.cap, 0)
+		s.cap0 = append(s.cap0, 0)
+		s.rev = append(s.rev, start+i)
+	}
+	for i := int32(0); i < size; i++ {
+		old := s.first[u] + i
+		a := start + i
+		s.to[a] = s.to[old]
+		s.cap[a] = s.cap[old]
+		s.cap0[a] = s.cap0[old]
+		r := s.rev[old]
+		s.rev[a] = r
+		s.rev[r] = a
+		s.to[old] = 0
+		s.cap[old] = 0
+		s.cap0[old] = 0
+		s.rev[old] = old
+	}
+	s.first[u] = start
+	s.last[u] = start + size
+	s.bound[u] = start + newCap
 }
 
 // insertArcPair inserts the arc (u, v) with capacity c and its
@@ -375,12 +429,15 @@ func deltaEdge(src EdgeSource, i int, reversed bool) (int, int, int32) {
 // tombstoned (capacity zeroed, slot and arc order kept), arcs named by
 // added either revive their tombstone at the capacity the source reports
 // or — for edges never seen in any earlier binding — claim per-vertex
-// slack slots at fresh-build positions. Patching is atomic: a
-// verification pass (including cumulative slack accounting) runs first,
+// slack slots at fresh-build positions. An endpoint whose slack cannot
+// absorb its share of the additions has its region relocated to fresh
+// tail space first (see relocate), so slack exhaustion never fails a
+// delta. Patching is logically atomic: a verification pass runs first,
 // and if any addition collides with a live arc, any removal names a
-// missing or empty arc, any endpoint is out of range, or an endpoint's
-// slack is exhausted, the store is left untouched and false is returned
-// so the caller falls back to a full rebuild (which restores the slack).
+// missing or empty arc, or any endpoint is out of range, the bound graph
+// is left unmodified (relocations may have moved arc slots, which is
+// invisible to queries) and false is returned so the caller falls back
+// to a full rebuild.
 //
 // Preconditions: the residual has been reset (cap == cap0 everywhere),
 // and the two sources each name distinct edges (a diff, not a log).
@@ -405,9 +462,6 @@ func (s *arcStore) applyDelta(added, removed EdgeSource, reversed bool) bool {
 		}
 		s.pos[u]++
 		s.pos[v]++
-		if s.last[u]+s.pos[u] > s.first[u+1] || s.last[v]+s.pos[v] > s.first[v+1] {
-			return false // slack exhausted at an endpoint
-		}
 	}
 	for i := 0; i < nr; i++ {
 		u, v, _ := deltaEdge(removed, i, reversed)
@@ -417,6 +471,19 @@ func (s *arcStore) applyDelta(added, removed EdgeSource, reversed bool) bool {
 		a := s.findArc(int32(u), int32(v))
 		if a < 0 || s.cap0[a] <= 0 {
 			return false
+		}
+	}
+	// Verification passed: relocate any endpoint whose slack cannot
+	// absorb its share of the novel arcs. Relocation preserves the bound
+	// graph (and live-arc order), so a later rejected delta would still
+	// leave the store logically untouched.
+	for i := 0; i < na; i++ {
+		u, v, _ := deltaEdge(added, i, reversed)
+		if s.pos[u] > 0 && s.last[u]+s.pos[u] > s.bound[u] {
+			s.relocate(int32(u), s.pos[u])
+		}
+		if s.pos[v] > 0 && s.last[v]+s.pos[v] > s.bound[v] {
+			s.relocate(int32(v), s.pos[v])
 		}
 	}
 	for i := 0; i < nr; i++ {

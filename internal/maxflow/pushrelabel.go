@@ -103,7 +103,11 @@ func (p *PushRelabelSolver) ApplyUnitDelta(added, removed EdgeSource) bool {
 	if !p.st.applyDelta(added, removed, false) {
 		return false
 	}
-	for a := range p.rcap0 {
+	// Region relocation may have grown the arc arrays; the mirrors follow.
+	arcs := len(p.st.cap)
+	p.rcap = growInt32(p.rcap, arcs)
+	p.rcap0 = growInt32(p.rcap0, arcs)
+	for a := 0; a < arcs; a++ {
 		p.rcap0[a] = p.st.cap0[p.st.rev[a]]
 	}
 	return true

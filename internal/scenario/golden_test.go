@@ -36,6 +36,82 @@ type churnGoldenPoint struct {
 	SCC      float64 `json:"scc_frac"`
 }
 
+// membersGoldenDoc extends the churn golden schema with the
+// membership-rebind counter: the fixture pins not just the measurements
+// but that join/leave snapshots actually took the incremental path.
+type membersGoldenDoc struct {
+	Points            []churnGoldenPoint `json:"points"`
+	ChurnAdded        int                `json:"churn_added"`
+	ChurnRemoved      int                `json:"churn_removed"`
+	IncrementalBinds  int                `json:"incremental_binds"`
+	FullBinds         int                `json:"full_binds"`
+	MembershipRebinds int                `json:"membership_rebinds"`
+}
+
+// TestGoldenTinyMembersRun byte-pins a membership-churn-heavy scenario:
+// snapshots every simulated minute under 10/10 churn, so nearly every
+// adjacent snapshot pair differs in membership and the stable-slot
+// engine must rebind incrementally ACROSS joins and departures — the
+// workload that, before stable-slot population indexing, forced a full
+// bind per snapshot. Regenerate intentionally with:
+//
+//	go test ./internal/scenario -run Golden -update
+func TestGoldenTinyMembersRun(t *testing.T) {
+	res, err := Run(Config{
+		Name: "golden-members", Seed: 7, Size: 24, K: 6,
+		Churn:            churn.Rate10_10,
+		Setup:            4 * time.Minute,
+		Stabilize:        4 * time.Minute,
+		ChurnPhase:       8 * time.Minute,
+		SnapshotInterval: time.Minute,
+		SampleFraction:   0.25,
+		Workers:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := membersGoldenDoc{
+		ChurnAdded: res.ChurnAdded, ChurnRemoved: res.ChurnRemoved,
+		IncrementalBinds: res.IncrementalBinds, FullBinds: res.FullBinds,
+		MembershipRebinds: res.MembershipRebinds,
+	}
+	for _, p := range res.Points {
+		doc.Points = append(doc.Points, churnGoldenPoint{
+			TMin: p.Time.Minutes(), N: p.N, Edges: p.Edges,
+			Min: p.Min, Avg: p.Avg, Symmetry: p.Symmetry, SCC: p.SCC,
+		})
+	}
+	if res.MembershipRebinds == 0 {
+		t.Fatal("membership-churn golden run never rebound incrementally across a join/leave")
+	}
+	if res.IncrementalBinds <= res.FullBinds {
+		t.Fatalf("membership churn should rebind mostly incrementally: %d incremental vs %d full",
+			res.IncrementalBinds, res.FullBinds)
+	}
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "members_tiny.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tiny membership-churn run drifted from golden fixture %s (run with -update after intentional changes):\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
 // TestGoldenTinyChurnRun byte-pins a tiny churn-heavy scenario through
 // the incremental snapshot path: frequent snapshots over a stabilization
 // window (stable membership, so adjacent analyses rebind incrementally)

@@ -86,37 +86,36 @@ func Run(cfg Config) (*Result, error) {
 	// (smallest-out-degree, pruned) and Avg (seeded uniform, exact) sweeps
 	// into a single pass and reusing the Even transform, solver pool and
 	// scratch across snapshots instead of rebuilding them per analyzer.
-	// Binding is incremental across adjacent snapshots: when the live
-	// membership is unchanged since the previously analyzed snapshot —
-	// joins, churn departures and adversarial strikes all bump the
-	// population's membership generation, so they "emit" the node half of
-	// the delta for free — vertex indices carry over and only the
-	// routing-table edge delta is fed to the engine, which patches its
-	// solvers in place instead of rebuilding them.
+	// Binding is incremental across adjacent snapshots through stable-slot
+	// population indexing: each node keeps a persistent vertex slot for
+	// its lifetime (tombstoned on departure, recycled for joins), so the
+	// snapshot graphs of consecutive captures live in one vertex space
+	// even across joins, churn departures and adversarial strikes, and the
+	// engine patches its solvers with the edge delta instead of
+	// rebuilding. Only a slot-table growth — a new all-time-high live
+	// count, e.g. during the setup joins — forces a full bind. Results are
+	// reported in the canonical compacted numbering via the capture's
+	// Order map, identical to what dense per-snapshot captures produced.
 	res := &Result{Config: cfg}
 	engine, err := connectivity.NewEngine(connectivity.EngineOptions{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
 	binder := connectivity.NewIncrementalBinder(engine)
-	var genAtLastBind uint64
-	haveBound := false
+	var slots snapshot.SlotIndex
 	snap := func() {
-		s := snapshot.Capture(sim.Now(), pop.nodes)
+		s := snapshot.CaptureSlots(sim.Now(), pop.nodes, &slots)
 		point := SnapshotStat{
 			Time: sim.Now(), N: s.N(), Edges: s.Graph.M(),
-			SCC: s.Graph.LargestSCCFraction(), Removed: adversary.Removed(),
+			SCC: s.LargestSCCFraction(), Removed: adversary.Removed(),
 		}
 		if s.N() > 1 {
 			point.Symmetry = s.Graph.SymmetryRatio()
-			sameVertices := haveBound && pop.membershipGen == genAtLastBind
-			if binder.BindNext(s.Graph, sameVertices) {
+			if binder.BindNextSlots(s.Graph, s.Order) {
 				res.IncrementalBinds++
 			} else {
 				res.FullBinds++
 			}
-			haveBound = true
-			genAtLastBind = pop.membershipGen
 			sr := engine.AnalyzeSnapshot(connectivity.SnapshotQuery{
 				SampleFraction: cfg.SampleFraction,
 				AvgSeed:        cfg.Seed + int64(len(res.Points)),
@@ -133,7 +132,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg.logf("%s t=%3.0fm n=%4d edges=%6d min=%3d avg=%6.1f sym=%.3f",
 			cfg.Name, sim.Now().Minutes(), point.N, point.Edges, point.Min, point.Avg, point.Symmetry)
 		if cfg.OnSnapshot != nil {
-			cfg.OnSnapshot(s, point)
+			cfg.OnSnapshot(s.Dense(), point)
 		}
 	}
 	for at := cfg.SnapshotInterval; at < cfg.Total(); at += cfg.SnapshotInterval {
@@ -159,6 +158,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("scenario: churn additions failed: %w", errs[0])
 	}
 
+	res.MembershipRebinds = engine.MembershipRebinds()
 	res.ChurnAdded = churnGen.Added()
 	res.ChurnRemoved = churnGen.Removed()
 	res.AttackRemoved = adversary.Removed()

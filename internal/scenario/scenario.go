@@ -196,14 +196,21 @@ type Result struct {
 	AttackRemoved int
 	Victims       []attack.Victim
 	// IncrementalBinds and FullBinds count how the per-snapshot analyses
-	// bound the connectivity engine: snapshots whose live membership was
-	// unchanged since the previous one rebind incrementally (edge delta
-	// patched in place), the rest rebuild. Diagnostics only — not part of
-	// the sweep JSON schema.
+	// bound the connectivity engine. With stable-slot population indexing
+	// a snapshot rebinds incrementally whenever the slot table did not
+	// grow — joins, churn departures and adversarial strikes included —
+	// so full binds are confined to the first snapshot and new
+	// all-time-high live counts (the setup joins, in practice).
+	// Diagnostics only — not part of the sweep JSON schema.
 	IncrementalBinds int
 	FullBinds        int
-	Network          simnet.Stats
-	Elapsed          time.Duration // wall-clock cost of the run
+	// MembershipRebinds counts the incremental binds that crossed a
+	// membership change (a subset of IncrementalBinds): snapshots whose
+	// joins, departures or strikes were absorbed by stable-slot rebinding
+	// instead of a full rebuild.
+	MembershipRebinds int
+	Network           simnet.Stats
+	Elapsed           time.Duration // wall-clock cost of the run
 }
 
 // MinSeries returns the minimum-connectivity time series.
@@ -258,26 +265,24 @@ func (r *Result) ChurnWindowSummary() stats.Summary {
 }
 
 // population implements churn.Population and traffic.Population over the
-// evolving node set.
+// evolving node set. Vertex identity across captures is carried by
+// stable-slot indexing (snapshot.SlotIndex) on the capture side — a
+// node's address is its persistent identity, so the runner's and the
+// adversary's slot tables rebind incrementally across joins, departures
+// and strikes without the population having to track generations.
 type population struct {
 	sim      *eventsim.Simulator
 	net      *simnet.Network
 	cfg      kademlia.Config
 	nodes    []*kademlia.Node
 	nextAddr simnet.Addr
-	// membershipGen counts live-set changes: every join (setup, churn) and
-	// every removal (churn departure, adversarial strike) bumps it. Two
-	// snapshots captured at the same generation therefore see the same
-	// live nodes in the same order — the precondition for the runner's
-	// incremental engine rebinding, where routing-table edge deltas are
-	// meaningful because vertex indices denote the same nodes.
-	membershipGen uint64
 }
 
 var (
 	_ churn.Population   = (*population)(nil)
 	_ traffic.Population = (*population)(nil)
 	_ attack.Population  = (*population)(nil)
+	_ attack.SlotRecon   = (*population)(nil)
 )
 
 // LiveNodes implements traffic.Population.
@@ -299,7 +304,6 @@ func (p *population) RemoveRandomNode() bool {
 		return false
 	}
 	live[p.sim.Rand().Intn(len(live))].Leave()
-	p.membershipGen++
 	return true
 }
 
@@ -310,13 +314,19 @@ func (p *population) AttackSnapshot() *snapshot.Snapshot {
 	return snapshot.Capture(p.sim.Now(), p.nodes)
 }
 
+// AttackSlotSnapshot implements attack.SlotRecon: stable-slot
+// reconnaissance against the adversary's private slot table, so the
+// cutset engine rebinds incrementally across its own strikes.
+func (p *population) AttackSlotSnapshot(idx *snapshot.SlotIndex) *snapshot.SlotSnapshot {
+	return snapshot.CaptureSlots(p.sim.Now(), p.nodes, idx)
+}
+
 // RemoveNode implements attack.Population: the live node at addr leaves
 // silently, exactly like a churn departure.
 func (p *population) RemoveNode(addr simnet.Addr) bool {
 	for _, n := range p.nodes {
 		if n.Addr() == addr && n.Running() {
 			n.Leave()
-			p.membershipGen++
 			return true
 		}
 	}
@@ -343,7 +353,6 @@ func (p *population) spawn() (*kademlia.Node, error) {
 		return nil, fmt.Errorf("scenario: spawn: %w", err)
 	}
 	p.nodes = append(p.nodes, node)
-	p.membershipGen++
 	if len(live) > 0 {
 		bootstrap := live[p.sim.Rand().Intn(len(live))]
 		if err := node.Join(bootstrap.Contact(), nil); err != nil {

@@ -1,0 +1,103 @@
+package snapshot
+
+import (
+	"testing"
+)
+
+func TestSlotMapStableAcrossChurn(t *testing.T) {
+	var m SlotMap[int]
+	order := m.Assign([]int{10, 11, 12, 13}, nil)
+	if m.Len() != 4 {
+		t.Fatalf("slot count %d, want 4", m.Len())
+	}
+	want := []int{0, 1, 2, 3}
+	if !intSliceEq(order, want) {
+		t.Fatalf("initial order %v, want %v", order, want)
+	}
+	// 11 leaves: its slot goes vacant, everyone else keeps theirs.
+	order = m.Assign([]int{10, 12, 13}, nil)
+	if !intSliceEq(order, []int{0, 2, 3}) {
+		t.Fatalf("post-leave order %v, want [0 2 3]", order)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("slot count grew to %d on a leave", m.Len())
+	}
+	// 14 joins: it recycles the lowest vacant slot (11's old slot 1) and
+	// ranks LAST in canonical order while holding a middle slot.
+	order = m.Assign([]int{10, 12, 13, 14}, nil)
+	if !intSliceEq(order, []int{0, 2, 3, 1}) {
+		t.Fatalf("post-join order %v, want [0 2 3 1]", order)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("join should recycle, slot count %d", m.Len())
+	}
+	// A second join with no vacancy appends a new slot.
+	order = m.Assign([]int{10, 12, 13, 14, 15}, nil)
+	if !intSliceEq(order, []int{0, 2, 3, 1, 4}) || m.Len() != 5 {
+		t.Fatalf("append join: order %v slots %d", order, m.Len())
+	}
+}
+
+func TestSlotMapRecyclesLowestFirst(t *testing.T) {
+	var m SlotMap[int]
+	m.Assign([]int{1, 2, 3, 4, 5}, nil)
+	m.Assign([]int{1, 3, 5}, nil)                // slots 1 and 3 vacant
+	order := m.Assign([]int{1, 3, 5, 6, 7}, nil) // 6 -> slot 1, 7 -> slot 3
+	if !intSliceEq(order, []int{0, 2, 4, 1, 3}) {
+		t.Fatalf("order %v, want [0 2 4 1 3]", order)
+	}
+}
+
+// TestCaptureSlotsDenseMatchesCapture pins the compaction-map contract:
+// Dense() of a slot capture is exactly what the canonical Capture
+// produces at the same instant — same vertex numbering, metadata, and
+// edges — including after leaves and recycled joins have scrambled the
+// slot order.
+func TestCaptureSlotsDenseMatchesCapture(t *testing.T) {
+	sim, nodes := buildNetwork(t, 15)
+	var idx SlotIndex
+	check := func(stage string) {
+		t.Helper()
+		ss := CaptureSlots(sim.Now(), nodes, &idx)
+		want := Capture(sim.Now(), nodes)
+		got := ss.Dense()
+		if got.N() != want.N() || got.Graph.M() != want.Graph.M() {
+			t.Fatalf("%s: dense %d/%d, want %d/%d", stage, got.N(), got.Graph.M(), want.N(), want.Graph.M())
+		}
+		for i := range want.IDs {
+			if !got.IDs[i].Equal(want.IDs[i]) || got.Addrs[i] != want.Addrs[i] {
+				t.Fatalf("%s: vertex %d metadata mismatch", stage, i)
+			}
+		}
+		if !got.Graph.Equal(want.Graph) {
+			t.Fatalf("%s: dense graph differs from canonical capture", stage)
+		}
+		if frac := ss.LargestSCCFraction(); frac != want.Graph.LargestSCCFraction() {
+			t.Fatalf("%s: SCC fraction %v != dense %v", stage, frac, want.Graph.LargestSCCFraction())
+		}
+		if ss.Graph.SymmetryRatio() != want.Graph.SymmetryRatio() {
+			t.Fatalf("%s: symmetry ratio differs between slot and dense graphs", stage)
+		}
+	}
+	check("initial")
+	nodes[3].Leave()
+	nodes[9].Leave()
+	check("after leaves")
+	slots := idx.Len()
+	check("stable")
+	if idx.Len() != slots {
+		t.Fatalf("slot count changed on a same-membership capture: %d -> %d", slots, idx.Len())
+	}
+}
+
+func intSliceEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

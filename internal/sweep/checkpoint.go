@@ -59,10 +59,11 @@ type ckptFile struct {
 	AttackRemoved int         `json:"attack_removed"`
 	// Binding diagnostics, carried so a resumed run round-trips the
 	// original Result exactly (the resume regression test DeepEquals).
-	IncrementalBinds int          `json:"inc_binds,omitempty"`
-	FullBinds        int          `json:"full_binds,omitempty"`
-	Victims          []ckptVictim `json:"victims,omitempty"`
-	Network          simnet.Stats `json:"network"`
+	IncrementalBinds  int          `json:"inc_binds,omitempty"`
+	FullBinds         int          `json:"full_binds,omitempty"`
+	MembershipRebinds int          `json:"member_rebinds,omitempty"`
+	Victims           []ckptVictim `json:"victims,omitempty"`
+	Network           simnet.Stats `json:"network"`
 }
 
 // ckptPoint mirrors scenario.SnapshotStat with an exact timestamp (the
@@ -126,7 +127,8 @@ func (c *Checkpointer) Store(cfg scenario.Config, rep int, r *scenario.Result) e
 		ChurnAdded: r.ChurnAdded, ChurnRemoved: r.ChurnRemoved,
 		TrafficOps: r.TrafficOps, AttackRemoved: r.AttackRemoved,
 		IncrementalBinds: r.IncrementalBinds, FullBinds: r.FullBinds,
-		Network: r.Network,
+		MembershipRebinds: r.MembershipRebinds,
+		Network:           r.Network,
 	}
 	for _, p := range r.Points {
 		out.Points = append(out.Points, ckptPoint{
@@ -177,7 +179,8 @@ func (c *Checkpointer) Load(cfg scenario.Config, rep int) (*scenario.Result, boo
 		ChurnAdded: in.ChurnAdded, ChurnRemoved: in.ChurnRemoved,
 		TrafficOps: in.TrafficOps, AttackRemoved: in.AttackRemoved,
 		IncrementalBinds: in.IncrementalBinds, FullBinds: in.FullBinds,
-		Network: in.Network,
+		MembershipRebinds: in.MembershipRebinds,
+		Network:           in.Network,
 	}
 	for _, p := range in.Points {
 		res.Points = append(res.Points, scenario.SnapshotStat{
