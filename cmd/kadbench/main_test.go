@@ -62,13 +62,14 @@ func TestDiffTable(t *testing.T) {
 func TestRegressionGate(t *testing.T) {
 	old, new := canned(t)
 	var buf bytes.Buffer
-	// 25% tolerance: the +20% dinic regression passes.
-	if err := run([]string{"-max-regress", "25", old, new}, &buf); err != nil {
+	// Raw-delta gating (-ratio=false): 25% tolerance lets the +20% dinic
+	// regression pass.
+	if err := run([]string{"-ratio=false", "-max-regress", "25", old, new}, &buf); err != nil {
 		t.Fatalf("within-tolerance run failed: %v\n%s", err, buf.String())
 	}
 	// 10% tolerance: it fails, naming the offender.
 	buf.Reset()
-	err := run([]string{"-max-regress", "10", old, new}, &buf)
+	err := run([]string{"-ratio=false", "-max-regress", "10", old, new}, &buf)
 	if err == nil {
 		t.Fatalf("10%% gate did not fail:\n%s", buf.String())
 	}
@@ -80,6 +81,62 @@ func TestRegressionGate(t *testing.T) {
 		strings.Contains(buf.String(), "REGRESSION: Legacy") ||
 		strings.Contains(buf.String(), "REGRESSION: ChurnSequence/rebind") {
 		t.Fatalf("gate fired on a non-regression:\n%s", buf.String())
+	}
+}
+
+// TestRatioGateIgnoresHostSpeed pins the point of the default
+// normalization: a trajectory point recorded on a uniformly 2x-slower
+// machine shows +100% raw deltas everywhere, but the normalized gate
+// only fires on the one benchmark that regressed relative to the rest
+// of the file.
+func TestRatioGateIgnoresHostSpeed(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "fast-host.json", []benchEntry{
+		{Name: "SnapshotAnalysis", NsPerOp: 100e6, AllocsPerOp: 3},
+		{Name: "MaxflowAlgorithms/dinic", NsPerOp: 250e3},
+		{Name: "ChurnSequence/rebind", NsPerOp: 12e6, AllocsPerOp: 6},
+	})
+	// 2x slower across the board, plus a genuine extra 30% on rebind.
+	new := writeTrajectory(t, dir, "slow-host.json", []benchEntry{
+		{Name: "SnapshotAnalysis", NsPerOp: 200e6, AllocsPerOp: 3},
+		{Name: "MaxflowAlgorithms/dinic", NsPerOp: 500e3},
+		{Name: "ChurnSequence/rebind", NsPerOp: 31.2e6, AllocsPerOp: 6},
+	})
+
+	// Raw gating drowns in the host change: every benchmark trips a 50% gate.
+	var buf bytes.Buffer
+	if err := run([]string{"-ratio=false", "-max-regress", "50", old, new}, &buf); err == nil {
+		t.Fatalf("raw gate ignored a uniform 2x slowdown:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION: SnapshotAnalysis") {
+		t.Fatalf("raw gate did not flag the uniformly slower benchmarks:\n%s", buf.String())
+	}
+
+	// Normalized gating: the geomean absorbs the host factor
+	// ((2·2·2.6)^(1/3) ≈ 2.18x), the two uniform benchmarks land below
+	// their old normalized position, and only rebind's +19% residual
+	// trips a 10% gate.
+	buf.Reset()
+	err := run([]string{"-max-regress", "10", old, new}, &buf)
+	if err == nil {
+		t.Fatalf("normalized gate missed the real regression:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION: ChurnSequence/rebind") {
+		t.Fatalf("normalized gate did not name the real regression:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION: SnapshotAnalysis") ||
+		strings.Contains(out, "REGRESSION: MaxflowAlgorithms/dinic") {
+		t.Fatalf("normalized gate fired on host speed, not benchmark movement:\n%s", out)
+	}
+	if !strings.Contains(out, "normalization: geomean") || !strings.Contains(out, "host factor") {
+		t.Fatalf("normalization summary line missing:\n%s", out)
+	}
+	// And with the host factor divided out, a comfortable gate passes even
+	// though every raw delta is around +100%.
+	buf.Reset()
+	if err := run([]string{"-max-regress", "25", old, new}, &buf); err != nil {
+		t.Fatalf("normalized 25%% gate failed on a host change: %v\n%s", err, buf.String())
 	}
 }
 
@@ -123,9 +180,28 @@ func TestTrendTable(t *testing.T) {
 	if !strings.Contains(buf.String(), "trajectory: 2 points") {
 		t.Fatalf("two-point trend not rendered:\n%s", buf.String())
 	}
-	// One file is rejected.
-	if err := run([]string{"-trend", p1}, &bytes.Buffer{}); err == nil {
-		t.Fatal("single-file trend should be rejected")
+	// A single file renders a one-point trajectory (the state of the world
+	// right after the first BENCH file is committed) instead of erroring.
+	buf.Reset()
+	if err := run([]string{"-trend", p1}, &buf); err != nil {
+		t.Fatalf("single-file trend failed: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"trajectory: 1 point,", "SnapshotAnalysis"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("single-point trend missing %q:\n%s", want, buf.String())
+		}
+	}
+	// A one-point series has no first-to-last movement: the delta column
+	// renders "-", never a fabricated percentage.
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "SnapshotAnalysis") && !strings.HasSuffix(strings.TrimRight(line, " "), "-") {
+			t.Fatalf("single-point delta is not '-': %q", line)
+		}
+	}
+	// No files at all (an unmatched glob) is a clean error, not a panic or
+	// an empty table.
+	if err := run([]string{"-trend"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("zero-file trend should be rejected")
 	}
 	// A regression gate never silently degrades into an ungated trend —
 	// three files with -max-regress is an error, not a sparkline.

@@ -104,6 +104,12 @@ type Config struct {
 	SampleFraction float64
 	// Workers bounds the Cutset analyzer's worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Governance bounds the long-run memory of the Cutset strategy's
+	// recon engine and private slot table, applied after each strike
+	// (see connectivity.GovernancePolicy). Maintenance never changes
+	// victim selection. The zero value disables governance; the scenario
+	// runner passes its own policy down.
+	Governance connectivity.GovernancePolicy
 }
 
 // Enabled reports whether the config describes an actual adversary.
@@ -235,6 +241,7 @@ func NewEngine(sim *eventsim.Simulator, cfg Config, pop Population) (*Engine, er
 		if err != nil {
 			return nil, err
 		}
+		conn.SetGovernance(cfg.Governance)
 		e.conn = conn
 		e.connBinder = connectivity.NewIncrementalBinder(conn)
 	}
@@ -333,6 +340,18 @@ func (e *Engine) strike() {
 			if e.pop.RemoveNode(addrs[v]) {
 				e.victims = append(e.victims, Victim{Time: now, Addr: addrs[v], ID: ids[v]})
 			}
+		}
+	}
+
+	// Post-strike memory governance for the recon engine: strikes are THE
+	// membership churn of this engine, so without maintenance its solver
+	// arc stores and slot table only ever grow. Compacting the slot table
+	// renumbers the recon slot space; the next capture re-binds from
+	// scratch through the binder's fallback, with identical selections.
+	if e.conn != nil {
+		e.conn.Maintain()
+		if e.cfg.Governance.SlotCompactionDue(e.connSlots.Len(), e.connSlots.Live()) {
+			e.connSlots.Compact()
 		}
 	}
 

@@ -56,6 +56,14 @@ type Options struct {
 	// (about two thirds of steps instead of ~30%), soaking the
 	// membership-crossing rebind path and the slot recycler.
 	MembershipHeavy bool
+	// Governance, when enabled, installs the memory-governance policy on
+	// every incremental engine and mirrors the scenario runner's
+	// maintenance points: Engine.Maintain after each step's queries, and a
+	// slot-table compaction between captures once the policy's slack
+	// threshold trips. The oracle then additionally holds the governed
+	// engines to bit-identical answers across every compaction event. The
+	// zero value disables governance (the historical trace).
+	Governance connectivity.GovernancePolicy
 	// edgeChurnOnly restricts the trace to routing-table churn, pinning
 	// the all-incremental steady state (test hook).
 	edgeChurnOnly bool
@@ -71,11 +79,31 @@ type Stats struct {
 	// leave or strike — the steps only stable-slot indexing can patch.
 	MembershipRebinds int
 	// SlotGrowthBinds counts the full binds forced by slot-table growth
-	// (a new all-time-high live count); together with the first bind
-	// they must account for every full bind.
+	// (a new all-time-high live count); together with the first bind and
+	// CompactionBinds they must account for every full bind.
 	SlotGrowthBinds int
+	// CompactionBinds counts the full binds forced by a governed
+	// slot-table compaction (the slot space renumbered, so the next
+	// capture binds from scratch).
+	CompactionBinds int
+	// SlotCompactions counts governed slot-table compactions;
+	// Redensifies the primary-solver arc-store rebuilds Maintain
+	// performed (identical across worker counts, which Run asserts).
+	SlotCompactions int
+	Redensifies     int
 	// Joins, Leaves, Strikes and EdgeChurn count trace events.
 	Joins, Leaves, Strikes, EdgeChurn int
+	// PeakLive is the all-time-high live population; ArcsAtPeak and
+	// SlotLenAtPeak record the largest solver arc array and the slot-table
+	// length as of the last step at that population — the "peak-P steady
+	// state" footprint the long-churn soak bounds the final footprint
+	// against. FinalMaxArcs and FinalSlotLen are the same measurements at
+	// the end of the trace.
+	PeakLive      int
+	ArcsAtPeak    int
+	SlotLenAtPeak int
+	FinalMaxArcs  int
+	FinalSlotLen  int
 }
 
 // trace is the evolving network: node identities in join order (the
@@ -265,13 +293,20 @@ func Run(opts Options) (Stats, error) {
 	tr := newTrace(opts.Seed, opts.Initial, opts.Degree)
 	sides := make([]incSide, len(opts.Workers))
 	for i, w := range opts.Workers {
+		eng := connectivity.MustNewEngine(connectivity.EngineOptions{Workers: w})
+		eng.SetGovernance(opts.Governance)
 		sides[i] = incSide{
 			workers: w,
-			binder:  connectivity.NewIncrementalBinder(connectivity.MustNewEngine(connectivity.EngineOptions{Workers: w})),
+			binder:  connectivity.NewIncrementalBinder(eng),
 		}
 	}
 	prevAlive := []int(nil)
 	bound := false
+	// pendingCompact marks that the slot table was compacted after the
+	// previous bound step: the slot space was renumbered, so the next
+	// capture must take the full-bind path even when the table length is
+	// unchanged.
+	pendingCompact := false
 
 	for step := 0; step < opts.Steps; step++ {
 		// Mutate: mostly edge churn, occasionally membership events (or
@@ -307,7 +342,7 @@ func Run(opts Options) (Stats, error) {
 		slotG, order := tr.captureSlots()
 		grew := tr.slots.Len() != slotsBefore
 		expectInc := bound
-		if grew {
+		if grew || pendingCompact {
 			expectInc = false
 		}
 		bound = true
@@ -377,17 +412,52 @@ func Run(opts Options) (Stats, error) {
 			}
 		} else {
 			stats.FullBinds++
-			if grew && stats.FullBinds > 1 {
-				stats.SlotGrowthBinds++
+			if stats.FullBinds > 1 {
+				if pendingCompact {
+					stats.CompactionBinds++
+				} else if grew {
+					stats.SlotGrowthBinds++
+				}
 			}
+		}
+		pendingCompact = false
+
+		// End-of-step maintenance, exactly where the scenario runner does
+		// it: arc-store governance on every engine (answers must stay
+		// bit-identical, which the NEXT step's comparisons hold), then the
+		// slot-table compaction decision for the next capture.
+		for i := range sides {
+			sides[i].binder.Engine().Maintain()
+		}
+		if opts.Governance.SlotCompactionDue(tr.slots.Len(), tr.slots.Live()) {
+			tr.slots.Compact()
+			pendingCompact = true
+			stats.SlotCompactions++
+		}
+		if live := len(tr.alive); live >= stats.PeakLive {
+			stats.PeakLive = live
+			stats.ArcsAtPeak = sides[0].binder.Engine().MaxSolverArcs()
+			stats.SlotLenAtPeak = tr.slots.Len()
 		}
 	}
 	// Every full bind must be accounted for: the first binding plus the
-	// slot-growth boundaries. Anything else is an unexpected fallback.
-	if want := 1 + stats.SlotGrowthBinds; stats.FullBinds != want {
-		return stats, fmt.Errorf("unexpected full binds: %d, want %d (first bind + %d slot growths)",
-			stats.FullBinds, want, stats.SlotGrowthBinds)
+	// slot-growth and compaction boundaries. Anything else is an
+	// unexpected fallback.
+	if want := 1 + stats.SlotGrowthBinds + stats.CompactionBinds; stats.FullBinds != want {
+		return stats, fmt.Errorf("unexpected full binds: %d, want %d (first bind + %d slot growths + %d compactions)",
+			stats.FullBinds, want, stats.SlotGrowthBinds, stats.CompactionBinds)
 	}
+	// The primary re-densify count is part of the deterministic surface:
+	// every worker pool must agree on it.
+	stats.Redensifies = sides[0].binder.Engine().Redensifies()
+	for i := 1; i < len(sides); i++ {
+		if r := sides[i].binder.Engine().Redensifies(); r != stats.Redensifies {
+			return stats, fmt.Errorf("redensify count varies with worker count: workers=%d saw %d, workers=%d saw %d",
+				sides[0].workers, stats.Redensifies, sides[i].workers, r)
+		}
+	}
+	stats.FinalMaxArcs = sides[0].binder.Engine().MaxSolverArcs()
+	stats.FinalSlotLen = tr.slots.Len()
 	return stats, nil
 }
 

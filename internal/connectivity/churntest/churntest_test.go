@@ -1,6 +1,10 @@
 package churntest
 
-import "testing"
+import (
+	"testing"
+
+	"kadre/internal/connectivity"
+)
 
 // TestDifferentialChurnOracle is the PR-gate harness: randomized churn
 // traces (edge churn, joins, leaves, adversarial strikes) replayed
@@ -33,6 +37,53 @@ func TestDifferentialChurnOracle(t *testing.T) {
 		if want := 1 + stats.SlotGrowthBinds; stats.FullBinds != want {
 			t.Fatalf("seed %d: %d full binds, want %d (stats %+v)", tc.Seed, stats.FullBinds, want, stats)
 		}
+	}
+}
+
+// TestGovernedChurnOracle replays membership-heavy traces with an
+// aggressive memory-governance policy, so slot compactions and arc-store
+// re-densifications fire repeatedly inside the differential oracle — and
+// every answer across every compaction event still matches the
+// from-scratch reference at jobs=1 and jobs=8. The full-bind invariant
+// extends to compaction boundaries: each governed slot compaction
+// renumbers the vertex space and must cost exactly one full bind.
+func TestGovernedChurnOracle(t *testing.T) {
+	aggressive := connectivity.GovernancePolicy{MaxDeadFrac: 0.05, MaxSlotSlack: 0.2}
+	for _, tc := range []Options{
+		{Seed: 21, Initial: 20, Steps: 60, Degree: 4, MembershipHeavy: true, Governance: aggressive},
+		{Seed: 22, Initial: 28, Steps: 50, Degree: 5, MembershipHeavy: true, Governance: aggressive},
+	} {
+		stats, err := Run(tc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.Seed, err)
+		}
+		t.Logf("seed %d: %+v", tc.Seed, stats)
+		if stats.SlotCompactions == 0 {
+			t.Fatalf("seed %d: aggressive policy never compacted the slot table (stats %+v)", tc.Seed, stats)
+		}
+		if stats.Redensifies == 0 {
+			t.Fatalf("seed %d: aggressive policy never re-densified an arc store (stats %+v)", tc.Seed, stats)
+		}
+		if stats.CompactionBinds == 0 || stats.CompactionBinds > stats.SlotCompactions {
+			t.Fatalf("seed %d: %d compaction binds for %d compactions (stats %+v)",
+				tc.Seed, stats.CompactionBinds, stats.SlotCompactions, stats)
+		}
+		if stats.IncrementalBinds == 0 || stats.MembershipRebinds == 0 {
+			t.Fatalf("seed %d: governance starved the incremental path (stats %+v)", tc.Seed, stats)
+		}
+	}
+}
+
+// TestUngovernedOracleReportsNoMaintenance pins the opt-in default: the
+// zero policy performs no compactions, no re-densifies, and no
+// compaction-forced full binds.
+func TestUngovernedOracleReportsNoMaintenance(t *testing.T) {
+	stats, err := Run(Options{Seed: 1, Initial: 24, Steps: 40, Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SlotCompactions != 0 || stats.Redensifies != 0 || stats.CompactionBinds != 0 {
+		t.Fatalf("zero policy performed maintenance: %+v", stats)
 	}
 }
 

@@ -135,6 +135,11 @@ type Engine struct {
 	rebindFallbacks      int
 	memberRebinds        int
 
+	// Memory governance (see governance.go): the installed policy and the
+	// deterministic primary-solver re-densify count.
+	gov         GovernancePolicy
+	redensifies int
+
 	// Selection and sweep scratch, reused across bindings.
 	rng      *rand.Rand
 	degCount []int32

@@ -76,6 +76,17 @@ func (d *DinicSolver) ApplyUnitDelta(added, removed EdgeSource) bool {
 	return true
 }
 
+// ArcStats implements MemoryCompactor.
+func (d *DinicSolver) ArcStats() ArcStats { return d.st.stats() }
+
+// Compact implements MemoryCompactor: it re-densifies the arc store in
+// place and drops the cached source BFS (levels depend on the whole
+// graph either way; the arc layout it is rebuilt over has changed).
+func (d *DinicSolver) Compact() {
+	d.st.redensify()
+	d.preparedSrc = -1
+}
+
 // PrepareSource implements Solver: it runs one full BFS from s on the
 // fresh residual graph and caches the level array. Subsequent
 // MaxFlow/MaxFlowLimit queries from s skip their first-phase BFS — on a

@@ -139,6 +139,19 @@ func (h *HaoOrlinSolver) ApplyUnitDelta(added, removed EdgeSource) bool {
 	return true
 }
 
+// ArcStats implements MemoryCompactor.
+func (h *HaoOrlinSolver) ArcStats() ArcStats { return h.st.stats() }
+
+// Compact implements MemoryCompactor: it restores the fresh residual
+// (replaying the last query's logs while their arc indices are still
+// valid), re-densifies the reversed arc store, and drops the cached root
+// labels, exactly as a delta would.
+func (h *HaoOrlinSolver) Compact() {
+	h.undoQuery()
+	h.st.redensify()
+	h.root = -1
+}
+
 // PrepareSource implements Solver: it roots the distance labels at s (the
 // reversed graph's sink) with one backward BFS on the fresh residual.
 // Every subsequent query from s reuses the labels; a query from a

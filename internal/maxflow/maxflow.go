@@ -115,6 +115,50 @@ type UnitDeltaApplier interface {
 	ApplyUnitDelta(added, removed EdgeSource) bool
 }
 
+// ArcStats describes a solver's arc-array occupancy, the accounting
+// behind threshold-triggered re-densification. Arcs is the arc-array
+// length; it decomposes as Live + Tombstones + Slack + Dead. Live counts
+// arcs of edges currently in the bound graph; Tombstones arcs of removed
+// edges kept (capacity zero) for cheap revival; Slack the per-vertex
+// insertion headroom; Dead the regions abandoned by arc-region
+// relocations — the component that grows without bound under sustained
+// membership churn until a re-densify reclaims it.
+type ArcStats struct {
+	Arcs        int
+	Live        int
+	Tombstones  int
+	Slack       int
+	Dead        int
+	Relocations int // arc-region relocations since the last full bind
+}
+
+// DeadFrac returns the reclaimable fraction of the arc array — dead
+// zones plus tombstones over the total — the quantity governance
+// policies threshold to trigger Compact.
+func (s ArcStats) DeadFrac() float64 {
+	if s.Arcs == 0 {
+		return 0
+	}
+	return float64(s.Dead+s.Tombstones) / float64(s.Arcs)
+}
+
+// MemoryCompactor is implemented by solvers whose arc store supports
+// in-place re-densification: Compact rebuilds the forward-star layout
+// from the live arcs only, dropping dead relocation zones and tombstoned
+// edge pairs and renewing per-vertex slack. It is much cheaper than a
+// full Reset — the bound graph, its capacities, and per-vertex solver
+// state survive; only per-arc caches are rebuilt — and it preserves
+// per-vertex live-arc order, so a compacted solver keeps answering
+// bit-identically to a freshly bound one (dropped tombstones re-derive
+// their fresh-build positions if their edges return). Compact
+// invalidates query-level warm-start caches exactly like ApplyUnitDelta.
+type MemoryCompactor interface {
+	// ArcStats reports the current arc-array occupancy.
+	ArcStats() ArcStats
+	// Compact re-densifies the arc store in place.
+	Compact()
+}
+
 // Factory constructs a solver for a graph given as an edge list.
 type Factory func(n int, edges []Edge) Solver
 
@@ -228,6 +272,10 @@ type arcStore struct {
 	// uses resetAll.
 	dirty []int32
 	pos   []int32 // per-vertex scratch: init cursor, delta slack counting
+	// relocs counts arc-region relocations since the last init: each one
+	// leaves a dead zone behind, so the count (with stats' dead total) is
+	// the observable trail of the memory the store owes a redensify.
+	relocs int
 }
 
 // init (re)binds the store to a graph, reusing slices whose capacity
@@ -295,6 +343,87 @@ func (s *arcStore) init(n int, edges EdgeSource) {
 	}
 	copy(s.cap0, s.cap)
 	s.dirty = s.dirty[:0]
+	s.relocs = 0
+}
+
+// stats scans the store and classifies every arc slot (see ArcStats).
+// O(arcs); meant for off-hot-path governance checks, not inner loops.
+func (s *arcStore) stats() ArcStats {
+	st := ArcStats{Arcs: len(s.to), Relocations: s.relocs}
+	var used int32
+	for v := 0; v < s.n; v++ {
+		used += s.bound[v] - s.first[v]
+		st.Slack += int(s.bound[v] - s.last[v])
+		for a := s.first[v]; a < s.last[v]; a++ {
+			if s.cap0[a] > 0 || s.cap0[s.rev[a]] > 0 {
+				st.Live++
+			} else {
+				st.Tombstones++
+			}
+		}
+	}
+	st.Dead = st.Arcs - int(used)
+	return st
+}
+
+// redensify rebuilds the forward-star layout from the live arcs only:
+// vertex regions return to vertex order with renewed arcSlack headroom,
+// dead relocation zones and tombstoned edge pairs are dropped, and the
+// arrays are reallocated at exact size, releasing the grown backing
+// memory. Per-vertex live-arc order is preserved — and with tombstones
+// gone it coincides with a fresh build's order (fresh builds have no
+// tombstones either), so traversal decisions stay bit-identical to a
+// full rebind. Edges that later re-add after their tombstone was dropped
+// re-derive fresh-build positions through insertSlot.
+//
+// The residual is left fresh (cap == cap0, empty dirty log), so callers
+// must invalidate warm-start caches exactly as they do for a delta.
+func (s *arcStore) redensify() {
+	n := s.n
+	remap := make([]int32, len(s.to))
+	newFirst := make([]int32, n+1)
+	newLast := make([]int32, n)
+	newBound := make([]int32, n)
+	var total int32
+	for v := 0; v < n; v++ {
+		newFirst[v] = total
+		next := total
+		for a := s.first[v]; a < s.last[v]; a++ {
+			if s.cap0[a] > 0 || s.cap0[s.rev[a]] > 0 {
+				remap[a] = next
+				next++
+			} else {
+				remap[a] = -1
+			}
+		}
+		newLast[v] = next
+		total = next + arcSlack
+		newBound[v] = total
+	}
+	newFirst[n] = total
+	newTo := make([]int32, total)
+	newCap0 := make([]int32, total)
+	newRev := make([]int32, total)
+	for v := 0; v < n; v++ {
+		for a := s.first[v]; a < s.last[v]; a++ {
+			na := remap[a]
+			if na < 0 {
+				continue
+			}
+			newTo[na] = s.to[a]
+			newCap0[na] = s.cap0[a]
+			newRev[na] = remap[s.rev[a]] // liveness is pair-symmetric: never -1
+		}
+		for q := newLast[v]; q < newBound[v]; q++ {
+			newRev[q] = q // slack: self-partnered zero arcs
+		}
+	}
+	newCap := make([]int32, total)
+	copy(newCap, newCap0)
+	s.to, s.cap, s.cap0, s.rev = newTo, newCap, newCap0, newRev
+	s.first, s.last, s.bound = newFirst, newLast, newBound
+	s.dirty = s.dirty[:0]
+	s.relocs = 0
 }
 
 // touch records an arc whose capacity is about to change, so resetTouched
@@ -398,6 +527,7 @@ func (s *arcStore) relocate(u, extra int32) {
 	s.first[u] = start
 	s.last[u] = start + size
 	s.bound[u] = start + newCap
+	s.relocs++
 }
 
 // insertArcPair inserts the arc (u, v) with capacity c and its

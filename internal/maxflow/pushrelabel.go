@@ -118,6 +118,30 @@ func (p *PushRelabelSolver) ApplyUnitDelta(added, removed EdgeSource) bool {
 // state to cache; the hint is a no-op.
 func (p *PushRelabelSolver) PrepareSource(int) {}
 
+// ArcStats implements MemoryCompactor.
+func (p *PushRelabelSolver) ArcStats() ArcStats { return p.st.stats() }
+
+// Compact implements MemoryCompactor: it re-densifies the arc store,
+// invalidates the warm-start preflow, and rebuilds the reverse-capacity
+// mirrors over the new layout. The mirrors are reallocated when the
+// compacted store is much smaller than their backing arrays, so the
+// memory a relocation-heavy stretch grew is actually released.
+func (p *PushRelabelSolver) Compact() {
+	p.st.redensify()
+	p.sweepSrc = -1
+	arcs := len(p.st.cap)
+	if cap(p.rcap0) > 2*arcs {
+		p.rcap = make([]int32, arcs)
+		p.rcap0 = make([]int32, arcs)
+	} else {
+		p.rcap = growInt32(p.rcap, arcs)
+		p.rcap0 = growInt32(p.rcap0, arcs)
+	}
+	for a := 0; a < arcs; a++ {
+		p.rcap0[a] = p.st.cap0[p.st.rev[a]]
+	}
+}
+
 // MaxFlow implements Solver.
 func (p *PushRelabelSolver) MaxFlow(s, t int) int {
 	return p.MaxFlowLimit(s, t, int(^uint(0)>>1))

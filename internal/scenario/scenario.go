@@ -12,6 +12,7 @@ import (
 
 	"kadre/internal/attack"
 	"kadre/internal/churn"
+	"kadre/internal/connectivity"
 	"kadre/internal/eventsim"
 	"kadre/internal/kademlia"
 	"kadre/internal/simnet"
@@ -74,6 +75,16 @@ type Config struct {
 	SampleFraction float64
 	// Workers bounds the analysis worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Governance bounds the long-run memory of the snapshot analysis
+	// pipeline: between snapshots the runner re-densifies solver arc
+	// stores and compacts the slot table once the policy thresholds trip
+	// (see connectivity.GovernancePolicy). Maintenance never changes
+	// results — only the Result's maintenance counters and the binding
+	// diagnostics reflect it — so it is deliberately absent from the
+	// sweep checkpoint fingerprint. The zero value takes
+	// connectivity.DefaultGovernance; set any threshold negative to
+	// disable governance outright.
+	Governance connectivity.GovernancePolicy
 
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
@@ -101,6 +112,9 @@ func (c Config) withDefaults() Config {
 	if c.Loss == 0 {
 		c.Loss = simnet.LossNone
 	}
+	if c.Governance == (connectivity.GovernancePolicy{}) {
+		c.Governance = connectivity.DefaultGovernance()
+	}
 	if c.Attack.Enabled() {
 		// The adversary's cutset analyzer inherits the run's sampling
 		// and worker budget unless configured explicitly.
@@ -109,6 +123,11 @@ func (c Config) withDefaults() Config {
 		}
 		if c.Attack.Workers == 0 {
 			c.Attack.Workers = c.Workers
+		}
+		// The adversary's private recon engine and slot table live under
+		// the same memory-governance policy as the measurement pipeline.
+		if c.Attack.Governance == (connectivity.GovernancePolicy{}) {
+			c.Attack.Governance = c.Governance
 		}
 		c.Attack = c.Attack.WithDefaults()
 	}
@@ -209,8 +228,19 @@ type Result struct {
 	// joins, departures or strikes were absorbed by stable-slot rebinding
 	// instead of a full rebuild.
 	MembershipRebinds int
-	Network           simnet.Stats
-	Elapsed           time.Duration // wall-clock cost of the run
+	// Memory-governance outcome (part of the sweep JSON schema, so every
+	// value here is deterministic for a config and independent of the
+	// worker count). SlotCompactions counts slot-table compactions and
+	// Redensifies the primary-solver arc-store rebuilds performed between
+	// snapshots; DeadArcFrac and SlotUtilization are the end-of-run
+	// footprint readings — a DeadArcFrac pinned under the policy's
+	// MaxDeadFrac is the visible form of the long-run memory bound.
+	SlotCompactions int
+	Redensifies     int
+	DeadArcFrac     float64
+	SlotUtilization float64
+	Network         simnet.Stats
+	Elapsed         time.Duration // wall-clock cost of the run
 }
 
 // MinSeries returns the minimum-connectivity time series.

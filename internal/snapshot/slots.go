@@ -37,6 +37,90 @@ type SlotMap[K comparable] struct {
 // Len returns the slot count (active plus vacant).
 func (m *SlotMap[K]) Len() int { return len(m.occupant) }
 
+// Live returns the number of occupied slots.
+func (m *SlotMap[K]) Live() int { return len(m.slot) }
+
+// Vacant returns the number of tombstoned slots.
+func (m *SlotMap[K]) Vacant() int { return len(m.free) }
+
+// Utilization returns Live/Len — the occupied fraction of the slot
+// table (1 for an empty table). Long departures-heavy runs drive it
+// down; Compact restores it to 1.
+func (m *SlotMap[K]) Utilization() float64 {
+	if len(m.occupant) == 0 {
+		return 1
+	}
+	return float64(len(m.slot)) / float64(len(m.occupant))
+}
+
+// Reserve pre-sizes the internal tables for a peak population of n
+// members, so a setup-phase join burst assigns slots without reallocating
+// mid-burst. Only useful before the first Assign (maps cannot be resized
+// later); afterwards it still pre-grows the slices.
+func (m *SlotMap[K]) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if m.slot == nil {
+		m.slot = make(map[K]int, n)
+		m.seen = make(map[K]bool, n)
+	}
+	if cap(m.occupant) < n {
+		occ := make([]K, len(m.occupant), n)
+		copy(occ, m.occupant)
+		m.occupant = occ
+	}
+	if cap(m.vacant) < n {
+		vac := make([]bool, len(m.vacant), n)
+		copy(vac, m.vacant)
+		m.vacant = vac
+	}
+	if cap(m.free) < n {
+		free := make([]int, len(m.free), n)
+		copy(free, m.free)
+		m.free = free
+	}
+}
+
+// Compact re-densifies the slot table: live occupants are renumbered to
+// [0, Live) preserving their relative slot order, tombstones are
+// dropped, and Len shrinks to Live. It returns the remap (old slot ->
+// new slot, -1 for vacant slots), or nil when the table has no
+// tombstones and nothing changed.
+//
+// Compaction renumbers the vertex space, so every consumer holding
+// slot-coordinate state — bound engines, diff bases, attack recon —
+// must treat the next capture as a fresh vertex space. The
+// IncrementalBinder does this automatically: the post-compaction
+// capture has a smaller slot count, which forces its full-bind path.
+// Analytical results are unaffected: the engine answers in canonical
+// compacted rank numbering, which is invariant under slot renumbering
+// (the churn oracle pins this across compaction events).
+func (m *SlotMap[K]) Compact() []int {
+	if len(m.free) == 0 {
+		return nil
+	}
+	remap := make([]int, len(m.occupant))
+	n := 0
+	for s, k := range m.occupant {
+		if m.vacant[s] {
+			remap[s] = -1
+			continue
+		}
+		remap[s] = n
+		m.occupant[n] = k
+		m.slot[k] = n
+		n++
+	}
+	m.occupant = m.occupant[:n]
+	m.vacant = m.vacant[:n]
+	for i := range m.vacant {
+		m.vacant[i] = false
+	}
+	m.free = m.free[:0]
+	return remap
+}
+
 // Assign updates the slot table for the given live members (in canonical
 // capture order) and appends their slots, in that same order, to order —
 // the rank-to-slot compaction map translating stable slots back to the

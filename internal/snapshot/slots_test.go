@@ -90,6 +90,93 @@ func TestCaptureSlotsDenseMatchesCapture(t *testing.T) {
 	}
 }
 
+func TestSlotMapCompact(t *testing.T) {
+	var m SlotMap[int]
+	m.Assign([]int{1, 2, 3, 4, 5, 6}, nil)
+	m.Assign([]int{2, 4, 6}, nil) // slots 0, 2, 4 tombstoned
+	if m.Len() != 6 || m.Live() != 3 || m.Vacant() != 3 {
+		t.Fatalf("pre-compact len/live/vacant = %d/%d/%d, want 6/3/3", m.Len(), m.Live(), m.Vacant())
+	}
+	if u := m.Utilization(); u != 0.5 {
+		t.Fatalf("utilization %v, want 0.5", u)
+	}
+	remap := m.Compact()
+	// Live slots 1, 3, 5 (members 2, 4, 6) renumber to 0, 1, 2 in slot order.
+	if !intSliceEq(remap, []int{-1, 0, -1, 1, -1, 2}) {
+		t.Fatalf("remap %v, want [-1 0 -1 1 -1 2]", remap)
+	}
+	if m.Len() != 3 || m.Live() != 3 || m.Vacant() != 0 || m.Utilization() != 1 {
+		t.Fatalf("post-compact len/live/vacant = %d/%d/%d", m.Len(), m.Live(), m.Vacant())
+	}
+	// Members keep their (renumbered) slots on the next capture.
+	order := m.Assign([]int{2, 4, 6}, nil)
+	if !intSliceEq(order, []int{0, 1, 2}) {
+		t.Fatalf("post-compact order %v, want [0 1 2]", order)
+	}
+	// A join after compaction appends — no stale tombstones to recycle.
+	order = m.Assign([]int{2, 4, 6, 7}, nil)
+	if !intSliceEq(order, []int{0, 1, 2, 3}) || m.Len() != 4 {
+		t.Fatalf("post-compact join: order %v slots %d", order, m.Len())
+	}
+	// No tombstones: Compact is a no-op and says so.
+	if remap := m.Compact(); remap != nil {
+		t.Fatalf("no-op Compact returned remap %v", remap)
+	}
+}
+
+func TestSlotMapCompactEmpty(t *testing.T) {
+	var m SlotMap[int]
+	if remap := m.Compact(); remap != nil {
+		t.Fatalf("Compact of empty map returned %v", remap)
+	}
+	if u := m.Utilization(); u != 1 {
+		t.Fatalf("empty utilization %v, want 1", u)
+	}
+}
+
+// TestSlotMapReserveAbsorbsJoinBurst pins the pre-sizing contract: a
+// Reserved slot table absorbs a setup-phase join burst up to the reserved
+// population with only Reserve's own handful of allocations, where the
+// unreserved table reallocates its maps and slices throughout the burst.
+func TestSlotMapReserveAbsorbsJoinBurst(t *testing.T) {
+	const peak = 512
+	live := make([]int, 0, peak)
+	order := make([]int, 0, peak)
+	burst := func(m *SlotMap[int]) {
+		live = live[:0]
+		for wave := 0; len(live) < peak; wave++ {
+			for i := 0; i < 64; i++ {
+				live = append(live, len(live))
+			}
+			order = m.Assign(live, order[:0])
+		}
+	}
+	reserved := testing.AllocsPerRun(5, func() {
+		var m SlotMap[int]
+		m.Reserve(peak)
+		burst(&m)
+	})
+	unreserved := testing.AllocsPerRun(5, func() {
+		var m SlotMap[int]
+		burst(&m)
+	})
+	// Reserve itself allocates the two maps (a few allocations each at
+	// this size) and three slices; the burst must add nothing on top.
+	if reserved > 12 {
+		t.Fatalf("reserved join burst allocated %.0f times, want <= 12", reserved)
+	}
+	if reserved >= unreserved {
+		t.Fatalf("reserved burst allocated %.0f times, unreserved %.0f — pre-sizing buys nothing", reserved, unreserved)
+	}
+	// And pre-sizing must not change assignments.
+	var a, b SlotMap[int]
+	a.Reserve(peak)
+	members := []int{3, 1, 4, 1, 5}
+	if got, want := a.Assign([]int{3, 1, 4}, nil), b.Assign([]int{3, 1, 4}, nil); !intSliceEq(got, want) {
+		t.Fatalf("reserved order %v != unreserved %v for %v", got, want, members)
+	}
+}
+
 func intSliceEq(a, b []int) bool {
 	if len(a) != len(b) {
 		return false

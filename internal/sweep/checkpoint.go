@@ -59,11 +59,17 @@ type ckptFile struct {
 	AttackRemoved int         `json:"attack_removed"`
 	// Binding diagnostics, carried so a resumed run round-trips the
 	// original Result exactly (the resume regression test DeepEquals).
-	IncrementalBinds  int          `json:"inc_binds,omitempty"`
-	FullBinds         int          `json:"full_binds,omitempty"`
-	MembershipRebinds int          `json:"member_rebinds,omitempty"`
-	Victims           []ckptVictim `json:"victims,omitempty"`
-	Network           simnet.Stats `json:"network"`
+	IncrementalBinds  int `json:"inc_binds,omitempty"`
+	FullBinds         int `json:"full_binds,omitempty"`
+	MembershipRebinds int `json:"member_rebinds,omitempty"`
+	// Memory-governance outcome, serialized into the sweep JSON and so
+	// required for byte-identical resumed artefacts.
+	SlotCompactions int          `json:"slot_compactions,omitempty"`
+	Redensifies     int          `json:"redensifies,omitempty"`
+	DeadArcFrac     float64      `json:"dead_arc_frac,omitempty"`
+	SlotUtilization float64      `json:"slot_utilization,omitempty"`
+	Victims         []ckptVictim `json:"victims,omitempty"`
+	Network         simnet.Stats `json:"network"`
 }
 
 // ckptPoint mirrors scenario.SnapshotStat with an exact timestamp (the
@@ -128,7 +134,9 @@ func (c *Checkpointer) Store(cfg scenario.Config, rep int, r *scenario.Result) e
 		TrafficOps: r.TrafficOps, AttackRemoved: r.AttackRemoved,
 		IncrementalBinds: r.IncrementalBinds, FullBinds: r.FullBinds,
 		MembershipRebinds: r.MembershipRebinds,
-		Network:           r.Network,
+		SlotCompactions:   r.SlotCompactions, Redensifies: r.Redensifies,
+		DeadArcFrac: r.DeadArcFrac, SlotUtilization: r.SlotUtilization,
+		Network: r.Network,
 	}
 	for _, p := range r.Points {
 		out.Points = append(out.Points, ckptPoint{
@@ -180,7 +188,9 @@ func (c *Checkpointer) Load(cfg scenario.Config, rep int) (*scenario.Result, boo
 		TrafficOps: in.TrafficOps, AttackRemoved: in.AttackRemoved,
 		IncrementalBinds: in.IncrementalBinds, FullBinds: in.FullBinds,
 		MembershipRebinds: in.MembershipRebinds,
-		Network:           in.Network,
+		SlotCompactions:   in.SlotCompactions, Redensifies: in.Redensifies,
+		DeadArcFrac: in.DeadArcFrac, SlotUtilization: in.SlotUtilization,
+		Network: in.Network,
 	}
 	for _, p := range in.Points {
 		res.Points = append(res.Points, scenario.SnapshotStat{

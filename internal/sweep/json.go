@@ -55,6 +55,21 @@ type JSONRep struct {
 	Victims       []JSONVictim `json:"victims,omitempty"`
 	MsgSent       uint64       `json:"msg_sent"`
 	MsgLost       uint64       `json:"msg_lost"`
+	// Memory reports the run's memory-governance outcome; absent when
+	// governance was disabled for the run.
+	Memory *JSONMemory `json:"memory,omitempty"`
+}
+
+// JSONMemory is one replication's memory-governance outcome: how much
+// maintenance the policy triggered and the end-of-run footprint
+// readings. dead_arc_frac staying at or under the policy's MaxDeadFrac
+// is the serialized form of the long-run memory bound. Deterministic for
+// a config — independent of the worker count — like every other field.
+type JSONMemory struct {
+	SlotCompactions int     `json:"slot_compactions"`
+	Redensifies     int     `json:"redensifies"`
+	DeadArcFrac     float64 `json:"dead_arc_frac"`
+	SlotUtilization float64 `json:"slot_utilization"`
 }
 
 // JSONVictim is one adversarial removal.
@@ -164,6 +179,14 @@ func BuildJSON(meta JSONMeta, sets []*RunSet) *JSONFile {
 				MsgSent:       r.Network.Sent,
 				MsgLost:       r.Network.Lost,
 				Points:        make([]JSONPoint, 0, len(r.Points)),
+			}
+			if cfg.Governance.Enabled() {
+				rep.Memory = &JSONMemory{
+					SlotCompactions: r.SlotCompactions,
+					Redensifies:     r.Redensifies,
+					DeadArcFrac:     r.DeadArcFrac,
+					SlotUtilization: r.SlotUtilization,
+				}
 			}
 			for _, v := range r.Victims {
 				rep.Victims = append(rep.Victims, JSONVictim{
