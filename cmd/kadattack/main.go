@@ -33,6 +33,10 @@
 //	-csv dir         write per-strategy degradation CSVs
 //	-json dir        write one JSON document (attack.json)
 //	-checkpoint dir  persist per-run results; resume skips finished runs
+//	-max-dead-frac f re-densify analysis arc stores above this dead
+//	                 fraction; <= 0 disables (default 0.5)
+//	-max-slot-slack f compact slot tables above this vacancy/live ratio;
+//	                 <= 0 disables (default 0.5)
 //	-quiet           suppress progress lines
 //
 // Examples:
@@ -53,6 +57,7 @@ import (
 	"time"
 
 	"kadre/internal/attack"
+	"kadre/internal/connectivity"
 	"kadre/internal/report"
 	"kadre/internal/scenario"
 	"kadre/internal/sweep"
@@ -78,6 +83,8 @@ func run(args []string, stdout io.Writer) error {
 		csvDir     = fs.String("csv", "", "directory for degradation CSVs")
 		jsonDir    = fs.String("json", "", "directory for the JSON document")
 		ckptDir    = fs.String("checkpoint", "", "directory for per-run checkpoints (resume support)")
+		deadFrac   = fs.Float64("max-dead-frac", 0.5, "re-densify analysis arc stores above this dead fraction (<= 0 disables)")
+		slotSlack  = fs.Float64("max-slot-slack", 0.5, "compact slot tables above this vacancy/live ratio (<= 0 disables)")
 		quiet      = fs.Bool("quiet", false, "suppress progress lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +112,9 @@ func run(args []string, stdout io.Writer) error {
 	phase, _ := scale.AttackPhase()
 	for i := range exp.Configs {
 		cfg := &exp.Configs[i]
+		// The governance knobs cover both the measurement pipeline and the
+		// cutset adversary's recon engine (inherited by the defaulting).
+		cfg.Governance = connectivity.PolicyFromKnobs(*deadFrac, *slotSlack)
 		if *interval > 0 {
 			cfg.Attack.Interval = *interval
 		}

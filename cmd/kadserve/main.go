@@ -1,0 +1,149 @@
+// Command kadserve is the long-running resilience-query service: a
+// Kademlia resilience engine kept warm behind an HTTP API. Where the
+// batch CLIs (kadsweep, kadattack) pay a full simulation per run,
+// kadserve keeps every finished run's analysis state — the bound
+// connectivity engine, slot table and final topology — resident in a
+// shared LRU arena, so repeated or overlapping queries answer from
+// memory without a single re-bind.
+//
+// Queries are adaptively replicated: replication stops as soon as the
+// Student-t 95% confidence interval decides the query's threshold (or
+// reaches its precision target), and per-replication progress streams to
+// the client as NDJSON (or SSE under Accept: text/event-stream) while
+// the query runs.
+//
+// Endpoints:
+//
+//	POST /v1/query    run one resilience query (see internal/serve.QuerySpec)
+//	GET  /v1/arena    arena occupancy, per-entry engine memory stats
+//	GET  /v1/healthz  liveness
+//
+// Flags:
+//
+//	-addr a             listen address (default :8700)
+//	-arena-mb n         arena memory budget in MiB (default 256)
+//	-jobs j             concurrent replications per query; 0 = GOMAXPROCS
+//	-max-dead-frac f    re-densify solver arc stores above this dead
+//	                    fraction; <= 0 disables (default 0.5)
+//	-max-slot-slack f   compact slot tables above this vacancy/live
+//	                    ratio; <= 0 disables (default 0.5)
+//	-maintain-interval d arena maintenance cadence (default 30s)
+//	-drain-timeout d    shutdown grace for in-flight queries (default 30s)
+//	-quiet              suppress log lines
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains:
+// in-flight queries stream to completion (up to -drain-timeout), then
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kadre/internal/connectivity"
+	"kadre/internal/serve"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, nil, sigs); err != nil {
+		fmt.Fprintln(os.Stderr, "kadserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until a shutdown signal drains it.
+// ready (tests) receives the bound listen address once accepting.
+func run(args []string, stdout io.Writer, ready func(addr string), shutdown <-chan os.Signal) error {
+	fs := flag.NewFlagSet("kadserve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8700", "listen address")
+		arenaMB      = fs.Int64("arena-mb", 256, "arena memory budget (MiB)")
+		jobs         = fs.Int("jobs", 0, "concurrent replications per query (0 = GOMAXPROCS)")
+		maxDeadFrac  = fs.Float64("max-dead-frac", 0.5, "re-densify arc stores above this dead fraction (<= 0 disables)")
+		maxSlotSlack = fs.Float64("max-slot-slack", 0.5, "compact slot tables above this vacancy/live ratio (<= 0 disables)")
+		maintainIvl  = fs.Duration("maintain-interval", 30*time.Second, "arena maintenance cadence")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight queries")
+		quiet        = fs.Bool("quiet", false, "suppress log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Fprintf(stdout, "kadserve: "+format+"\n", a...)
+		}
+	}
+
+	srv := serve.NewServer(serve.Options{
+		Arena:      serve.NewArena(serve.ArenaOptions{BudgetBytes: *arenaMB << 20}),
+		Jobs:       *jobs,
+		Governance: connectivity.PolicyFromKnobs(*maxDeadFrac, *maxSlotSlack),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logf("listening on %s", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// Governance maintenance runs on a timer, off the request path, so
+	// queries never pay arc-store compaction latency.
+	maintDone := make(chan struct{})
+	maintStop := make(chan struct{})
+	go func() {
+		defer close(maintDone)
+		ticker := time.NewTicker(*maintainIvl)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n := srv.Arena().Maintain(); n > 0 {
+					logf("maintenance re-densified %d arc stores", n)
+				}
+			case <-maintStop:
+				return
+			}
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		close(maintStop)
+		<-maintDone
+		return err
+	case sig := <-shutdown:
+		logf("draining (%v)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := httpSrv.Shutdown(ctx)
+		close(maintStop)
+		<-maintDone
+		if serveRes := <-serveErr; serveRes != nil && !errors.Is(serveRes, http.ErrServerClosed) {
+			return serveRes
+		}
+		if err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		logf("drained")
+		return nil
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// testServer is one running kadserve instance driven through run().
+type testServer struct {
+	addr    string
+	sigs    chan os.Signal
+	done    chan error
+	stopped atomic.Bool
+	mu      sync.Mutex
+	out     bytes.Buffer
+}
+
+// waitDone consumes run()'s return exactly once.
+func (s *testServer) waitDone(t *testing.T) error {
+	t.Helper()
+	select {
+	case err := <-s.done:
+		s.stopped.Store(true)
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never exited")
+		return nil
+	}
+}
+
+func (s *testServer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.out.Write(p)
+}
+
+func (s *testServer) log() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.out.String()
+}
+
+func startServer(t *testing.T, extraArgs ...string) *testServer {
+	t.Helper()
+	s := &testServer{
+		sigs: make(chan os.Signal, 1),
+		done: make(chan error, 1),
+	}
+	readyCh := make(chan string, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-maintain-interval", "50ms"}, extraArgs...)
+	go func() {
+		s.done <- run(args, s, func(addr string) { readyCh <- addr }, s.sigs)
+	}()
+	select {
+	case s.addr = <-readyCh:
+	case err := <-s.done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	t.Cleanup(func() {
+		if s.stopped.Load() {
+			return
+		}
+		s.sigs <- syscall.SIGTERM
+		select {
+		case <-s.done:
+		case <-time.After(30 * time.Second):
+		}
+	})
+	return s
+}
+
+func (s *testServer) shutdown(t *testing.T) error {
+	t.Helper()
+	s.sigs <- syscall.SIGTERM
+	return s.waitDone(t)
+}
+
+func smokeSpec(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "smoke_query.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSmokeQueryGolden runs the CI smoke query against a fresh server and
+// compares the final NDJSON record byte-for-byte with the committed
+// fixture — the same comparison the CI workflow's curl step performs.
+func TestSmokeQueryGolden(t *testing.T) {
+	s := startServer(t)
+	resp, err := http.Post("http://"+s.addr+"/v1/query", "application/json",
+		strings.NewReader(smokeSpec(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("got %d records, want rep records plus a result", len(lines))
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "smoke_final.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lines[len(lines)-1], strings.TrimSpace(string(golden)); got != want {
+		t.Fatalf("final record drifted from golden fixture:\ngot:  %s\nwant: %s", got, want)
+	}
+	if err := s.shutdown(t); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if log := s.log(); !strings.Contains(log, "draining") || !strings.Contains(log, "drained") {
+		t.Fatalf("log missing drain markers:\n%s", log)
+	}
+}
+
+// TestGracefulDrainCompletesInFlight pins the SIGTERM contract: a query
+// already streaming when the signal arrives runs to completion and
+// receives its final record; only then does the process exit cleanly.
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	// -jobs 1 serializes replications, so after the first rep record the
+	// query is guaranteed still in flight.
+	s := startServer(t, "-jobs", "1")
+	resp, err := http.Post("http://"+s.addr+"/v1/query", "application/json",
+		strings.NewReader(smokeSpec(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first record: %v", sc.Err())
+	}
+	first := sc.Text()
+	if !strings.Contains(first, `"type":"rep"`) {
+		t.Fatalf("first record = %s", first)
+	}
+
+	// The query is mid-flight: pull the plug.
+	s.sigs <- syscall.SIGTERM
+
+	last := first
+	for sc.Scan() {
+		last = sc.Text()
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream broken during drain: %v", err)
+	}
+	if !strings.Contains(last, `"type":"result"`) {
+		t.Fatalf("in-flight query never got its result record, last = %s", last)
+	}
+
+	if err := s.waitDone(t); err != nil {
+		t.Fatalf("drain returned %v", err)
+	}
+	// Drained means drained: new connections must be refused.
+	if _, err := http.Get("http://" + s.addr + "/v1/healthz"); err == nil {
+		t.Fatal("server still accepting after drain")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}

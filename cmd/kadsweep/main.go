@@ -34,6 +34,18 @@
 //	-checkpoint d persist every completed run to directory d and, on a
 //	              later invocation, replay finished runs from disk
 //	              instead of re-executing them (sweep resume)
+//	-ci-stop f    adaptive replication: per configuration, stop early
+//	              once the 95% CI half-width of the churn-window mean
+//	              min connectivity is at most f times its mean; -reps
+//	              becomes the rep budget (requires -reps >= 2, not
+//	              combinable with -checkpoint). Stop indices depend only
+//	              on seeds and accumulated statistics, so artefacts stay
+//	              identical for any -jobs value.
+//	-max-dead-frac f  re-densify analysis arc stores above this dead
+//	              fraction; <= 0 disables (default 0.5)
+//	-max-slot-slack f compact slot tables above this vacancy/live
+//	              ratio; <= 0 disables (default 0.5). Disabling both
+//	              drops the "memory" block from the JSON document.
 //	-list         list experiments and exit
 //	-quiet        suppress progress lines
 //
@@ -80,6 +92,7 @@ import (
 	"strings"
 	"time"
 
+	"kadre/internal/connectivity"
 	"kadre/internal/report"
 	"kadre/internal/scenario"
 	"kadre/internal/stats"
@@ -102,6 +115,8 @@ type options struct {
 	csvDir  string
 	jsonDir string
 	ckpt    *sweep.Checkpointer
+	gov     connectivity.GovernancePolicy
+	ciStop  float64
 	quiet   bool
 	stdout  io.Writer
 }
@@ -119,6 +134,9 @@ func run(args []string, stdout io.Writer) error {
 		csvDir    = fs.String("csv", "", "directory for per-run CSV series")
 		jsonDir   = fs.String("json", "", "directory for per-experiment JSON results")
 		ckptDir   = fs.String("checkpoint", "", "directory for per-run checkpoints (resume support)")
+		ciStop    = fs.Float64("ci-stop", 0, "adaptive replication: stop a config's reps once the 95% CI half-width is at most this fraction of the mean churn-window min connectivity (0 = fixed -reps)")
+		deadFrac  = fs.Float64("max-dead-frac", 0.5, "re-densify analysis arc stores above this dead fraction (<= 0 disables)")
+		slotSlack = fs.Float64("max-slot-slack", 0.5, "compact slot tables above this vacancy/live ratio (<= 0 disables)")
 		list      = fs.Bool("list", false, "list experiments and exit")
 		quiet     = fs.Bool("quiet", false, "suppress progress lines")
 	)
@@ -131,6 +149,15 @@ func run(args []string, stdout io.Writer) error {
 	if *jobs < 0 {
 		return fmt.Errorf("-jobs %d must be >= 0", *jobs)
 	}
+	if *ciStop < 0 {
+		return fmt.Errorf("-ci-stop %v must be >= 0", *ciStop)
+	}
+	if *ciStop > 0 && *reps < 2 {
+		return fmt.Errorf("-ci-stop needs -reps >= 2 (the rep budget a decision may stop short of)")
+	}
+	if *ciStop > 0 && *ckptDir != "" {
+		return fmt.Errorf("-ci-stop cannot be combined with -checkpoint (adaptive rep counts would invalidate resumed fixed-R checkpoints)")
+	}
 
 	scale, err := scenario.ScaleByName(*scaleName)
 	if err != nil {
@@ -139,6 +166,8 @@ func run(args []string, stdout io.Writer) error {
 	opts := options{
 		scale: scale, seed: *seed, reps: *reps, jobs: *jobs,
 		csvDir: *csvDir, jsonDir: *jsonDir, quiet: *quiet, stdout: stdout,
+		gov:    connectivity.PolicyFromKnobs(*deadFrac, *slotSlack),
+		ciStop: *ciStop,
 	}
 	if *ckptDir != "" {
 		if opts.ckpt, err = sweep.NewCheckpointer(*ckptDir); err != nil {
@@ -203,44 +232,60 @@ func runExperiments(ids []string, opts options) error {
 		if err != nil {
 			return err
 		}
+		// The governance knobs apply to every run (adversaries inherit the
+		// policy for their recon engines through the scenario defaulting).
+		for ci := range exp.Configs {
+			exp.Configs[ci].Governance = opts.gov
+		}
 		exps[i] = exp
 		groups[i] = sweep.Group{Name: exp.ID, Configs: exp.Configs}
 		totalConfigs += len(exp.Configs)
 	}
 
 	pooled := len(exps) > 1
+	repsLabel := fmt.Sprintf("%d reps", opts.reps)
+	if opts.ciStop > 0 {
+		repsLabel = fmt.Sprintf("<= %d adaptive reps (ci-stop %g)", opts.reps, opts.ciStop)
+	}
 	if pooled {
-		fmt.Fprintf(opts.stdout, "=== pooled sweep: %d experiments, %d configs x %d reps (scale %s, jobs %d) ===\n",
-			len(exps), totalConfigs, opts.reps, opts.scale.Name, opts.jobs)
+		fmt.Fprintf(opts.stdout, "=== pooled sweep: %d experiments, %d configs x %s (scale %s, jobs %d) ===\n",
+			len(exps), totalConfigs, repsLabel, opts.scale.Name, opts.jobs)
 	} else {
 		exp := exps[0]
-		fmt.Fprintf(opts.stdout, "=== %s: %s (scale %s, %d configs x %d reps, jobs %d) ===\n",
-			exp.ID, exp.Title, opts.scale.Name, len(exp.Configs), opts.reps, opts.jobs)
+		fmt.Fprintf(opts.stdout, "=== %s: %s (scale %s, %d configs x %s, jobs %d) ===\n",
+			exp.ID, exp.Title, opts.scale.Name, len(exp.Configs), repsLabel, opts.jobs)
 	}
 	start := time.Now()
 
-	swOpts := sweep.Options{Reps: opts.reps, Jobs: opts.jobs, Checkpoint: opts.ckpt}
-	if !opts.quiet {
-		swOpts.Progress = func(ev sweep.Event) {
-			status := fmt.Sprintf("%v", ev.Elapsed.Round(time.Millisecond))
-			if ev.Cached {
-				status = "checkpoint"
+	// On failure both executors still hand back every experiment whose
+	// runs all completed; render and persist those before reporting the
+	// error, so a pooled -exp all sweep does not discard hours of
+	// finished work.
+	var allSets [][]*sweep.RunSet
+	var runErr error
+	if opts.ciStop > 0 {
+		allSets, runErr = runAdaptiveGroups(exps, opts, pooled)
+	} else {
+		swOpts := sweep.Options{Reps: opts.reps, Jobs: opts.jobs, Checkpoint: opts.ckpt}
+		if !opts.quiet {
+			swOpts.Progress = func(ev sweep.Event) {
+				status := fmt.Sprintf("%v", ev.Elapsed.Round(time.Millisecond))
+				if ev.Cached {
+					status = "checkpoint"
+				}
+				if ev.Err != nil {
+					status = "FAILED: " + ev.Err.Error()
+				}
+				name := ev.Name
+				if pooled {
+					name = ev.Experiment + "/" + name
+				}
+				fmt.Fprintf(opts.stdout, "  [%d/%d] %s rep %d seed %d (%s)\n",
+					ev.Done, ev.Total, name, ev.Rep, ev.Seed, status)
 			}
-			if ev.Err != nil {
-				status = "FAILED: " + ev.Err.Error()
-			}
-			name := ev.Name
-			if pooled {
-				name = ev.Experiment + "/" + name
-			}
-			fmt.Fprintf(opts.stdout, "  [%d/%d] %s rep %d seed %d (%s)\n",
-				ev.Done, ev.Total, name, ev.Rep, ev.Seed, status)
 		}
+		allSets, runErr = sweep.RunGroups(groups, swOpts)
 	}
-	// On failure RunGroups still hands back every experiment whose runs
-	// all completed; render and persist those before reporting the error,
-	// so a pooled -exp all sweep does not discard hours of finished work.
-	allSets, runErr := sweep.RunGroups(groups, swOpts)
 	finished := fmt.Sprintf("%d experiments", len(exps))
 	if !pooled {
 		finished = exps[0].ID
@@ -280,6 +325,59 @@ func runExperiments(ids []string, opts options) error {
 		}
 	}
 	return runErr
+}
+
+// runAdaptiveGroups is the -ci-stop executor: every configuration
+// replicates adaptively (internal/sweep.RunAdaptive) until the 95% CI of
+// its churn-window mean min connectivity is within opts.ciStop of the
+// mean, or the -reps budget runs out. Replications of one config fan out
+// across -jobs workers; configs execute in order. The stop index depends
+// only on seeds and accumulated statistics, so rep counts and every
+// artefact are identical under any -jobs value. Experiments completed
+// before a failure keep their RunSets, mirroring sweep.RunGroups.
+func runAdaptiveGroups(exps []scenario.Experiment, opts options, pooled bool) ([][]*sweep.RunSet, error) {
+	minReps := 3
+	if opts.reps < minReps {
+		minReps = opts.reps
+	}
+	out := make([][]*sweep.RunSet, len(exps))
+	for gi, exp := range exps {
+		sets := make([]*sweep.RunSet, len(exp.Configs))
+		for ci, cfg := range exp.Configs {
+			name := cfg.Name
+			if pooled {
+				name = exp.ID + "/" + name
+			}
+			ar, err := sweep.RunAdaptive(cfg, sweep.AdaptiveOptions{
+				Rule:    sweep.StopAtPrecision(opts.ciStop),
+				Extract: func(r *scenario.Result) float64 { return r.ChurnWindowSummary().Mean },
+				MinReps: minReps, MaxReps: opts.reps, Jobs: opts.jobs,
+				Progress: func(u sweep.RepUpdate) {
+					if opts.quiet {
+						return
+					}
+					ci95 := "n/a"
+					if u.Reps >= 2 {
+						ci95 = fmt.Sprintf("%.4f", u.CI95)
+					}
+					status := fmt.Sprintf("%v", u.Elapsed.Round(time.Millisecond))
+					if u.Decided {
+						status += fmt.Sprintf("; %s after %d reps", u.Verdict, u.Reps)
+					}
+					fmt.Fprintf(opts.stdout, "  %s rep %d seed %d churn-mean %.3f ci95 %s (%s)\n",
+						name, u.Rep, u.Seed, u.Value, ci95, status)
+				},
+			})
+			if err != nil {
+				return out, err
+			}
+			if sets[ci], err = ar.RunSet(); err != nil {
+				return out, err
+			}
+		}
+		out[gi] = sets
+	}
+	return out, nil
 }
 
 func render(w io.Writer, exp scenario.Experiment, reps int, sets []*sweep.RunSet) error {

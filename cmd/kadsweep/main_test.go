@@ -269,3 +269,94 @@ func TestRunPooledExperiments(t *testing.T) {
 		t.Fatalf("%d 'finished in' markers, want 1 (single pooled sweep)", got)
 	}
 }
+
+// TestCIStopAdaptiveSweep exercises -ci-stop end to end: adaptive
+// replication renders and serializes through the normal pipeline, rep
+// counts respect the -reps budget, and the artefacts are identical for
+// any -jobs value.
+func TestCIStopAdaptiveSweep(t *testing.T) {
+	runOnce := func(jobs string) (string, []byte) {
+		dir := t.TempDir()
+		var buf bytes.Buffer
+		args := []string{"-exp", "figure2", "-scale", "tiny", "-reps", "4",
+			"-ci-stop", "0.5", "-jobs", jobs, "-json", dir}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "figure2.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), data
+	}
+	out, doc := runOnce("4")
+	if !strings.Contains(out, "adaptive reps (ci-stop 0.5)") {
+		t.Fatalf("banner missing adaptive marker:\n%.400s", out)
+	}
+	// Per-rep progress carries the metric value and the CI so far.
+	if !strings.Contains(out, "churn-mean") || !strings.Contains(out, "ci95") {
+		t.Fatalf("adaptive progress lines missing stats:\n%.600s", out)
+	}
+	var file sweep.JSONFile
+	if err := json.Unmarshal(doc, &file); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range file.Runs {
+		if len(r.Reps) < 2 || len(r.Reps) > 4 {
+			t.Fatalf("run %s consumed %d reps, want within [2, 4]", r.Name, len(r.Reps))
+		}
+	}
+	// Adaptive stop indices depend only on seeds and statistics: modulo
+	// the informational jobs field in the metadata, the serialized
+	// artefact is identical under a different -jobs.
+	_, doc1 := runOnce("1")
+	var file1 sweep.JSONFile
+	if err := json.Unmarshal(doc1, &file1); err != nil {
+		t.Fatal(err)
+	}
+	file.Jobs, file1.Jobs = 0, 0
+	norm, _ := json.Marshal(file)
+	norm1, _ := json.Marshal(file1)
+	if !bytes.Equal(norm, norm1) {
+		t.Fatal("adaptive JSON differs between -jobs 4 and -jobs 1")
+	}
+}
+
+func TestCIStopValidation(t *testing.T) {
+	discard := &bytes.Buffer{}
+	if err := run([]string{"-exp", "figure2", "-ci-stop", "0.2"}, discard); err == nil {
+		t.Error("-ci-stop with -reps 1 should fail")
+	}
+	if err := run([]string{"-exp", "figure2", "-reps", "3", "-ci-stop", "0.2",
+		"-checkpoint", t.TempDir()}, discard); err == nil {
+		t.Error("-ci-stop with -checkpoint should fail")
+	}
+	if err := run([]string{"-exp", "figure2", "-reps", "3", "-ci-stop", "-1"}, discard); err == nil {
+		t.Error("negative -ci-stop should fail")
+	}
+}
+
+// TestGovernanceKnobs pins the CLI governance satellite: the default
+// knobs keep the memory block in the JSON document, and disabling both
+// (-max-dead-frac 0 -max-slot-slack 0) removes it — the serialized
+// signal that no governance ran.
+func TestGovernanceKnobs(t *testing.T) {
+	sweepJSON := func(extra ...string) string {
+		dir := t.TempDir()
+		args := append([]string{"-exp", "figure2", "-scale", "tiny", "-quiet", "-json", dir}, extra...)
+		if err := run(args, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "figure2.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if doc := sweepJSON(); !strings.Contains(doc, `"memory"`) {
+		t.Fatal("default governance must serialize the memory block")
+	}
+	if doc := sweepJSON("-max-dead-frac", "0", "-max-slot-slack", "0"); strings.Contains(doc, `"memory"`) {
+		t.Fatal("disabled governance must drop the memory block")
+	}
+}

@@ -19,9 +19,44 @@ import (
 // optional traffic and churn, periodic connectivity snapshots, exactly as
 // described in §5.3-§5.4 of the paper.
 func Run(cfg Config) (*Result, error) {
+	res, _, err := RunBound(cfg)
+	return res, err
+}
+
+// Bound is the warm analysis state a finished run leaves behind: the
+// connectivity engine still bound to the topology of the last analyzed
+// snapshot, the stable-slot index that carried vertex identity through
+// the run, and that final capture itself. Long-running services (the
+// kadserve arena) keep Bounds alive across queries so follow-up analyses
+// against the same scenario never re-pay the simulation or the engine
+// bind; batch callers use Run and let it all be collected.
+type Bound struct {
+	// Engine answers further connectivity queries against the final
+	// captured topology. Not safe for concurrent use (see
+	// connectivity.Engine); callers serialize access themselves.
+	Engine *connectivity.Engine
+	// Slots is the run's stable-slot table.
+	Slots *snapshot.SlotIndex
+	// Final is the last snapshot whose graph the engine analyzed, nil
+	// when no snapshot had more than one live node (the engine is then
+	// unbound and Engine queries are invalid).
+	Final *snapshot.SlotSnapshot
+	// FinalAvgSeed is the AvgSeed the final snapshot's Avg sweep used;
+	// re-running AnalyzeSnapshot with it and the run's SampleFraction
+	// reproduces the final point's Min/Avg exactly.
+	FinalAvgSeed int64
+}
+
+// Ready reports whether the bound engine holds an analyzable topology.
+func (b *Bound) Ready() bool { return b != nil && b.Final != nil }
+
+// RunBound is Run, but it additionally hands back the run's end-of-run
+// engine binding instead of discarding it. The Result is byte-identical
+// to Run's for the same config.
+func RunBound(cfg Config) (*Result, *Bound, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	start := time.Now()
 
@@ -46,7 +81,7 @@ func Run(cfg Config) (*Result, error) {
 				spawnErr = err
 			}
 		}); err != nil {
-			return nil, fmt.Errorf("scenario: schedule join: %w", err)
+			return nil, nil, fmt.Errorf("scenario: schedule join: %w", err)
 		}
 	}
 
@@ -56,10 +91,10 @@ func Run(cfg Config) (*Result, error) {
 		var err error
 		traff, err = traffic.NewGenerator(sim, pop.cfg.Bits, cfg.Workload, pop)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := traff.Start(0, cfg.Total()); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -67,7 +102,7 @@ func Run(cfg Config) (*Result, error) {
 	churnGen := churn.NewGenerator(sim, cfg.Churn, pop)
 	if !cfg.Churn.IsZero() {
 		if err := churnGen.Start(cfg.ChurnStart(), cfg.Total()); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -78,7 +113,7 @@ func Run(cfg Config) (*Result, error) {
 	// observes exactly the strikes that fired strictly before t.
 	adversary, err := attack.NewEngine(sim, cfg.Attack, pop)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Connectivity snapshots: every SnapshotInterval, plus one at the very
@@ -99,7 +134,7 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Config: cfg}
 	engine, err := connectivity.NewEngine(connectivity.EngineOptions{Workers: cfg.Workers})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	engine.SetGovernance(cfg.Governance)
 	binder := connectivity.NewIncrementalBinder(engine)
@@ -107,6 +142,11 @@ func Run(cfg Config) (*Result, error) {
 	// join burst assigns slots without reallocating the table per wave.
 	var slots snapshot.SlotIndex
 	slots.Reserve(cfg.Size)
+	// The last analyzed capture and its Avg-sweep seed, kept so RunBound
+	// can hand back a warm engine binding with enough context to
+	// reproduce (or re-sample) the final point's analysis.
+	var lastSnap *snapshot.SlotSnapshot
+	var lastAvgSeed int64
 	snap := func() {
 		s := snapshot.CaptureSlots(sim.Now(), pop.nodes, &slots)
 		point := SnapshotStat{
@@ -120,10 +160,12 @@ func Run(cfg Config) (*Result, error) {
 			} else {
 				res.FullBinds++
 			}
+			avgSeed := cfg.Seed + int64(len(res.Points))
 			sr := engine.AnalyzeSnapshot(connectivity.SnapshotQuery{
 				SampleFraction: cfg.SampleFraction,
-				AvgSeed:        cfg.Seed + int64(len(res.Points)),
+				AvgSeed:        avgSeed,
 			})
+			lastSnap, lastAvgSeed = s, avgSeed
 			point.Min = sr.Min.Min
 			point.Avg = sr.Avg.Avg
 			if sr.Avg.Pairs == 0 {
@@ -153,25 +195,25 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for at := cfg.SnapshotInterval; at < cfg.Total(); at += cfg.SnapshotInterval {
 		if _, err := sim.ScheduleAt(at, snap); err != nil {
-			return nil, fmt.Errorf("scenario: schedule snapshot: %w", err)
+			return nil, nil, fmt.Errorf("scenario: schedule snapshot: %w", err)
 		}
 	}
 	if _, err := sim.ScheduleAt(cfg.Total(), snap); err != nil {
-		return nil, fmt.Errorf("scenario: schedule final snapshot: %w", err)
+		return nil, nil, fmt.Errorf("scenario: schedule final snapshot: %w", err)
 	}
 
 	if cfg.Attack.Enabled() {
 		if err := adversary.Start(cfg.ChurnStart()+cfg.Attack.Interval/2, cfg.Total()); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
 	sim.RunUntil(cfg.Total())
 	if spawnErr != nil {
-		return nil, spawnErr
+		return nil, nil, spawnErr
 	}
 	if errs := churnGen.Errs(); len(errs) > 0 {
-		return nil, fmt.Errorf("scenario: churn additions failed: %w", errs[0])
+		return nil, nil, fmt.Errorf("scenario: churn additions failed: %w", errs[0])
 	}
 
 	res.MembershipRebinds = engine.MembershipRebinds()
@@ -187,7 +229,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Network = net.Stats()
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, &Bound{
+		Engine: engine, Slots: &slots,
+		Final: lastSnap, FinalAvgSeed: lastAvgSeed,
+	}, nil
 }
 
 // RunAll executes a slice of configs across GOMAXPROCS workers and

@@ -1,0 +1,343 @@
+// Package serve is the long-running resilience-query service behind
+// cmd/kadserve: a shared engine arena that keeps finished simulations'
+// analysis state warm across queries, adaptive-precision replication on
+// top of internal/sweep, and an HTTP API that streams per-replication
+// progress while a query decides.
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"kadre/internal/connectivity"
+	"kadre/internal/scenario"
+	"kadre/internal/sweep"
+)
+
+// Arena is a keyed pool of warm engine bindings shared by every query
+// the server handles. A simulation run is a pure function of its
+// effective configuration and seed, so its Result — and the engine still
+// bound to its final topology — can be reused verbatim whenever any
+// query replicates the same configuration. Entries are evicted in LRU
+// order once their estimated footprint exceeds the memory budget;
+// evicted entries remain valid for queries already holding them (the
+// collector reclaims the state once the last holder drops it).
+//
+// Get is safe for concurrent use and singleflights cold builds: when two
+// queries race on the same key, one simulation runs and both receive the
+// entry. Entry engine access is serialized per entry (see Entry.mu) —
+// the connectivity engine itself is not concurrency-safe.
+type Arena struct {
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	entries   map[string]*list.Element // key -> element whose Value is *Entry
+	lru       *list.List               // front = most recently used
+	inflight  map[string]*inflightRun
+	runner    func(scenario.Config) (*scenario.Result, *scenario.Bound, error)
+	hits      int64
+	misses    int64
+	builds    int64
+	evictions int64
+}
+
+// ArenaOptions configures NewArena.
+type ArenaOptions struct {
+	// BudgetBytes bounds the summed estimated footprint of resident
+	// entries; <= 0 means 256 MiB. A single entry larger than the budget
+	// is still admitted (and evicts everything else).
+	BudgetBytes int64
+	// Runner executes one simulation and hands back its warm binding.
+	// Nil means scenario.RunBound; tests inject fabricated runs.
+	Runner func(scenario.Config) (*scenario.Result, *scenario.Bound, error)
+}
+
+// DefaultArenaBudget is the resident-footprint bound when none is given.
+const DefaultArenaBudget = 256 << 20
+
+// NewArena creates an empty arena.
+func NewArena(opts ArenaOptions) *Arena {
+	budget := opts.BudgetBytes
+	if budget <= 0 {
+		budget = DefaultArenaBudget
+	}
+	runner := opts.Runner
+	if runner == nil {
+		runner = scenario.RunBound
+	}
+	return &Arena{
+		budget:   budget,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*inflightRun),
+		runner:   runner,
+	}
+}
+
+type inflightRun struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// Entry is one warm simulation: the run's Result plus the engine still
+// bound to the final snapshot's topology.
+type Entry struct {
+	key  string
+	cfg  scenario.Config // effective (defaulted) configuration, seed included
+	res  *scenario.Result
+	bind *scenario.Bound
+	size int64
+
+	// mu serializes engine access: AnalyzeFinal re-sweeps and Maintain
+	// re-densifies on the same non-concurrency-safe engine.
+	mu        sync.Mutex
+	resamples map[resampleKey]connectivity.SnapshotResult
+}
+
+type resampleKey struct {
+	frac float64
+	seed int64
+}
+
+// Result returns the entry's (shared, read-only) simulation result.
+func (e *Entry) Result() *scenario.Result { return e.res }
+
+// Config returns the effective configuration the entry ran.
+func (e *Entry) Config() scenario.Config { return e.cfg }
+
+// AnalyzeFinal re-analyzes the entry's final captured topology on the
+// warm engine with a caller-chosen sampling fraction and Avg-sweep seed
+// — the query-time "resample" that never re-pays the simulation. frac 0
+// means the run's own SampleFraction; seed 0 means the final point's
+// own AvgSeed (reproducing its Min/Avg exactly). Answers are memoized
+// per (frac, seed) under the entry lock.
+func (e *Entry) AnalyzeFinal(frac float64, seed int64) (connectivity.SnapshotResult, error) {
+	if !e.bind.Ready() {
+		return connectivity.SnapshotResult{}, fmt.Errorf("serve: run %q left no analyzable topology", e.cfg.Name)
+	}
+	if frac == 0 {
+		frac = e.cfg.SampleFraction
+	}
+	if seed == 0 {
+		seed = e.bind.FinalAvgSeed
+	}
+	k := resampleKey{frac: frac, seed: seed}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.resamples[k]; ok {
+		return r, nil
+	}
+	r := e.bind.Engine.AnalyzeSnapshot(connectivity.SnapshotQuery{
+		SampleFraction: frac,
+		AvgSeed:        seed,
+	})
+	if e.resamples == nil {
+		e.resamples = make(map[resampleKey]connectivity.SnapshotResult)
+	}
+	e.resamples[k] = r
+	return r, nil
+}
+
+// FinalN returns the live size of the final analyzed snapshot (0 when
+// the run ended with at most one live node).
+func (e *Entry) FinalN() int {
+	if !e.bind.Ready() {
+		return 0
+	}
+	return e.bind.Final.N()
+}
+
+// memory reports the entry engine's current arc-store footprint.
+func (e *Entry) memory() connectivity.MemoryStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bind.Engine.MemoryStats()
+}
+
+// maintain runs policy-driven engine maintenance off the request path.
+func (e *Entry) maintain() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bind.Engine.Maintain()
+}
+
+// Key derives the arena identity of a configuration: the sweep
+// fingerprint (every field that shapes measurements) plus the effective
+// seed. Name, Workers and Governance are deliberately absent — renaming
+// a query or changing the server's maintenance policy must not duplicate
+// warm state.
+func Key(cfg scenario.Config) string {
+	eff := cfg.WithDefaults()
+	return fmt.Sprintf("%s|seed=%d", sweep.Fingerprint(eff), eff.Seed)
+}
+
+// Get returns the warm entry for cfg, building it with one simulation
+// run on a miss. The second return reports whether the entry was served
+// warm — from residency or by joining another caller's in-flight build —
+// i.e. without paying a simulation of its own.
+func (a *Arena) Get(cfg scenario.Config) (*Entry, bool, error) {
+	key := Key(cfg)
+	a.mu.Lock()
+	if el, ok := a.entries[key]; ok {
+		a.lru.MoveToFront(el)
+		a.hits++
+		a.mu.Unlock()
+		return el.Value.(*Entry), true, nil
+	}
+	if call, ok := a.inflight[key]; ok {
+		a.hits++
+		a.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, false, call.err
+		}
+		return call.e, true, nil
+	}
+	call := &inflightRun{done: make(chan struct{})}
+	a.inflight[key] = call
+	a.misses++
+	a.mu.Unlock()
+
+	res, bind, err := a.runner(cfg)
+	var entry *Entry
+	if err == nil {
+		entry = &Entry{
+			key: key, cfg: cfg.WithDefaults(), res: res, bind: bind,
+			size: estimateSize(res, bind),
+		}
+	}
+
+	a.mu.Lock()
+	delete(a.inflight, key)
+	if err == nil {
+		a.builds++
+		el := a.lru.PushFront(entry)
+		a.entries[key] = el
+		a.used += entry.size
+		a.evictOver(el)
+	}
+	a.mu.Unlock()
+
+	call.e, call.err = entry, err
+	close(call.done)
+	if err != nil {
+		return nil, false, err
+	}
+	return entry, false, nil
+}
+
+// evictOver drops least-recently-used entries until the footprint fits
+// the budget, never evicting keep (the entry just inserted). Caller
+// holds a.mu.
+func (a *Arena) evictOver(keep *list.Element) {
+	for a.used > a.budget && a.lru.Len() > 1 {
+		el := a.lru.Back()
+		if el == keep {
+			el = el.Prev()
+		}
+		if el == nil {
+			return
+		}
+		e := el.Value.(*Entry)
+		a.lru.Remove(el)
+		delete(a.entries, e.key)
+		a.used -= e.size
+		a.evictions++
+	}
+}
+
+// Maintain runs the governance maintenance of every resident entry's
+// engine — re-densifying over-threshold arc stores — and returns the
+// number of stores rebuilt. kadserve calls it on a timer, off the
+// request path, so queries never pay compaction latency.
+func (a *Arena) Maintain() int {
+	a.mu.Lock()
+	entries := make([]*Entry, 0, a.lru.Len())
+	for el := a.lru.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*Entry))
+	}
+	a.mu.Unlock()
+	total := 0
+	for _, e := range entries {
+		total += e.maintain()
+	}
+	return total
+}
+
+// ArenaStats is a point-in-time occupancy report (GET /v1/arena).
+type ArenaStats struct {
+	Entries     int          `json:"entries"`
+	BudgetBytes int64        `json:"budget_bytes"`
+	UsedBytes   int64        `json:"used_bytes"`
+	Hits        int64        `json:"hits"`
+	Misses      int64        `json:"misses"`
+	Builds      int64        `json:"builds"`
+	Evictions   int64        `json:"evictions"`
+	Runs        []EntryStats `json:"runs,omitempty"`
+}
+
+// EntryStats describes one resident entry, most recently used first.
+type EntryStats struct {
+	Name      string                   `json:"name"`
+	Seed      int64                    `json:"seed"`
+	Size      int                      `json:"size"`
+	FinalN    int                      `json:"final_n"`
+	SizeBytes int64                    `json:"size_bytes"`
+	Memory    connectivity.MemoryStats `json:"memory"`
+}
+
+// Stats snapshots the arena's occupancy and counters.
+func (a *Arena) Stats() ArenaStats {
+	a.mu.Lock()
+	st := ArenaStats{
+		Entries: a.lru.Len(), BudgetBytes: a.budget, UsedBytes: a.used,
+		Hits: a.hits, Misses: a.misses, Builds: a.builds, Evictions: a.evictions,
+	}
+	entries := make([]*Entry, 0, a.lru.Len())
+	for el := a.lru.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*Entry))
+	}
+	a.mu.Unlock()
+	for _, e := range entries {
+		st.Runs = append(st.Runs, EntryStats{
+			Name: e.cfg.Name, Seed: e.cfg.Seed, Size: e.cfg.Size,
+			FinalN: e.FinalN(), SizeBytes: e.size, Memory: e.memory(),
+		})
+	}
+	return st
+}
+
+// Builds returns how many cold simulation builds the arena has paid —
+// the counter the warm-repeat tests pin to zero growth.
+func (a *Arena) Builds() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.builds
+}
+
+// estimateSize approximates an entry's resident footprint: the engine's
+// primary arc stores, the slot table, the captured final graph, and the
+// measurement series. Estimates only steer LRU eviction, so rough
+// constants per element are enough.
+func estimateSize(res *scenario.Result, b *scenario.Bound) int64 {
+	size := int64(64 << 10) // fixed engine/solver overhead
+	if b != nil {
+		if b.Engine != nil {
+			ms := b.Engine.MemoryStats()
+			size += int64(ms.Arcs) * 48
+		}
+		if b.Slots != nil {
+			size += int64(b.Slots.Len()) * 64
+		}
+		if b.Ready() {
+			size += int64(b.Final.Graph.M()) * 16
+		}
+	}
+	if res != nil {
+		size += int64(len(res.Points)) * 96
+		size += int64(len(res.Victims)) * 48
+	}
+	return size
+}

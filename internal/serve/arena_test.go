@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kadre/internal/connectivity"
+	"kadre/internal/scenario"
+	"kadre/internal/snapshot"
+)
+
+// stubRunner fabricates a run without simulating: a one-point Result and
+// a Bound around a fresh (unbound) engine. calls counts cold builds.
+func stubRunner(calls *atomic.Int64) func(scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+	return func(cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+		calls.Add(1)
+		eng, err := connectivity.NewEngine(connectivity.EngineOptions{Workers: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		res := &scenario.Result{Config: cfg.WithDefaults()}
+		res.Points = append(res.Points, scenario.SnapshotStat{
+			Time: time.Minute, N: cfg.Size, Min: 3, Avg: 4.5,
+		})
+		return res, &scenario.Bound{Engine: eng, Slots: &snapshot.SlotIndex{}}, nil
+	}
+}
+
+func arenaCfg(name string, seed int64) scenario.Config {
+	return scenario.Config{
+		Name: name, Seed: seed, Size: 20, K: 5, Staleness: 1,
+		Setup: 6 * time.Minute, Stabilize: 12 * time.Minute,
+		SnapshotInterval: 6 * time.Minute, SampleFraction: 0.1,
+	}
+}
+
+func TestArenaWarmHit(t *testing.T) {
+	var calls atomic.Int64
+	a := NewArena(ArenaOptions{Runner: stubRunner(&calls)})
+	e1, warm, err := a.Get(arenaCfg("a", 1))
+	if err != nil || warm {
+		t.Fatalf("cold Get: warm=%v err=%v", warm, err)
+	}
+	// Same effective config under a different name must hit: Name is not
+	// part of the arena key.
+	e2, warm, err := a.Get(arenaCfg("b", 1))
+	if err != nil || !warm {
+		t.Fatalf("warm Get: warm=%v err=%v", warm, err)
+	}
+	if e1 != e2 {
+		t.Fatal("warm Get returned a different entry")
+	}
+	if calls.Load() != 1 || a.Builds() != 1 {
+		t.Fatalf("runner calls=%d builds=%d, want 1/1", calls.Load(), a.Builds())
+	}
+	if _, warm, _ := a.Get(arenaCfg("a", 2)); warm {
+		t.Fatal("different seed must miss")
+	}
+	st := a.Stats()
+	if st.Entries != 2 || st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 entries, 1 hit, 2 misses", st)
+	}
+}
+
+func TestArenaSingleflight(t *testing.T) {
+	var calls atomic.Int64
+	slow := func(cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+		time.Sleep(20 * time.Millisecond) // widen the race window
+		return stubRunner(&calls)(cfg)
+	}
+	a := NewArena(ArenaOptions{Runner: slow})
+	const racers = 8
+	entries := make([]*Entry, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := a.Get(arenaCfg("race", 7))
+			if err != nil {
+				t.Error(err)
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("racing Gets paid %d builds, want 1", calls.Load())
+	}
+	for i := 1; i < racers; i++ {
+		if entries[i] != entries[0] {
+			t.Fatal("racing Gets received different entries")
+		}
+	}
+}
+
+func TestArenaLRUEviction(t *testing.T) {
+	var calls atomic.Int64
+	// Each stub entry estimates to ~64 KiB; budget two entries' worth.
+	a := NewArena(ArenaOptions{BudgetBytes: 140 << 10, Runner: stubRunner(&calls)})
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, _, err := a.Get(arenaCfg("e", seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries after 1 eviction", st)
+	}
+	if st.UsedBytes > st.BudgetBytes {
+		t.Fatalf("used %d exceeds budget %d after eviction", st.UsedBytes, st.BudgetBytes)
+	}
+	// Seed 1 was least recently used: it must have been the victim.
+	if _, warm, _ := a.Get(arenaCfg("e", 2)); !warm {
+		t.Fatal("seed 2 should have survived")
+	}
+	if _, warm, _ := a.Get(arenaCfg("e", 1)); warm {
+		t.Fatal("seed 1 should have been evicted")
+	}
+}
+
+func TestArenaNeverEvictsJustInserted(t *testing.T) {
+	var calls atomic.Int64
+	// Budget below a single entry's estimate: the entry stays resident
+	// anyway (an arena with nothing warm serves no one).
+	a := NewArena(ArenaOptions{BudgetBytes: 1024, Runner: stubRunner(&calls)})
+	if _, _, err := a.Get(arenaCfg("big", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want the over-budget entry resident", st.Entries)
+	}
+	if _, warm, _ := a.Get(arenaCfg("big", 1)); !warm {
+		t.Fatal("over-budget entry must still serve warm hits")
+	}
+	// A second entry displaces the first: exactly one stays.
+	if _, _, err := a.Get(arenaCfg("big", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 entry after displacing eviction", a.Stats())
+	}
+}
+
+func TestArenaBuildErrorNotCached(t *testing.T) {
+	var calls atomic.Int64
+	fail := true
+	runner := func(cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+		if fail {
+			calls.Add(1)
+			return nil, nil, fmt.Errorf("boom")
+		}
+		return stubRunner(&calls)(cfg)
+	}
+	a := NewArena(ArenaOptions{Runner: runner})
+	if _, _, err := a.Get(arenaCfg("f", 1)); err == nil {
+		t.Fatal("build error must propagate")
+	}
+	fail = false
+	if _, warm, err := a.Get(arenaCfg("f", 1)); err != nil || warm {
+		t.Fatalf("retry after failure: warm=%v err=%v, want cold success", warm, err)
+	}
+	if a.Builds() != 1 {
+		t.Fatalf("builds = %d, want 1 (failures don't count)", a.Builds())
+	}
+}
+
+func TestArenaRealRunBound(t *testing.T) {
+	// The default runner is the real scenario.RunBound: a warm entry's
+	// engine can re-analyze the final topology at query time, and its
+	// memoized resample matches the final measured point exactly.
+	a := NewArena(ArenaOptions{})
+	cfg := arenaCfg("real", 9)
+	cfg.Churn.Add, cfg.Churn.Remove = 1, 1
+	cfg.ChurnPhase = 12 * time.Minute
+	e, _, err := a.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := e.Result().Points[len(e.Result().Points)-1]
+	sr, err := e.AnalyzeFinal(0, 0) // the run's own sampling and seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Min.Min != last.Min {
+		t.Fatalf("resampled min %d != final point %d", sr.Min.Min, last.Min)
+	}
+	avg := sr.Avg.Avg
+	if sr.Avg.Pairs == 0 {
+		avg = float64(e.FinalN() - 1)
+	}
+	if avg != last.Avg {
+		t.Fatalf("resampled avg %v != final point %v", avg, last.Avg)
+	}
+	if a.Maintain() != 0 {
+		// A tiny run leaves nothing over-threshold; the call itself must
+		// be safe on warm entries.
+		t.Fatal("unexpected maintenance on a fresh tiny entry")
+	}
+}

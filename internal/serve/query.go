@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"kadre/internal/attack"
+	"kadre/internal/churn"
+	"kadre/internal/scenario"
+	"kadre/internal/simnet"
+	"kadre/internal/sweep"
+)
+
+// ScenarioSpec is the wire form of a simulation configuration. Omitted
+// fields take the named scale's values (or the paper defaults), exactly
+// as on the batch CLIs; durations are simulated minutes.
+type ScenarioSpec struct {
+	Scale            string  `json:"scale,omitempty"` // paper, reduced (default), tiny
+	Size             int     `json:"size,omitempty"`
+	K                int     `json:"k,omitempty"`
+	Alpha            int     `json:"alpha,omitempty"`
+	Bits             int     `json:"bits,omitempty"`
+	Staleness        int     `json:"staleness,omitempty"`
+	Loss             string  `json:"loss,omitempty"`  // none, low, med, high
+	Churn            string  `json:"churn,omitempty"` // "add/remove" per minute
+	ChurnMinutes     float64 `json:"churn_minutes,omitempty"`
+	Traffic          bool    `json:"traffic,omitempty"`
+	SetupMinutes     float64 `json:"setup_minutes,omitempty"`
+	StabilizeMinutes float64 `json:"stabilize_minutes,omitempty"`
+	SnapshotMinutes  float64 `json:"snapshot_minutes,omitempty"`
+	SampleFraction   float64 `json:"sample_fraction,omitempty"`
+	Seed             int64   `json:"seed,omitempty"`
+}
+
+// AttackSpec is the wire form of an adversary riding the churn window.
+type AttackSpec struct {
+	Strategy        string  `json:"strategy"` // random, degree, cutset, eclipse
+	Budget          int     `json:"budget,omitempty"`
+	Kills           int     `json:"kills,omitempty"`
+	IntervalMinutes float64 `json:"interval_minutes,omitempty"`
+}
+
+// ResampleSpec re-analyzes the final captured topology on the warm
+// engine with a different connectivity sampling, without re-simulating.
+// Only meaningful for the final_min / final_avg metrics.
+type ResampleSpec struct {
+	Fraction float64 `json:"fraction,omitempty"` // 0: the run's own c
+	Seed     int64   `json:"seed,omitempty"`     // 0: the final point's own Avg seed
+}
+
+// QuerySpec is the body of POST /v1/query: a scenario, a target metric,
+// and a stopping rule — exactly one of threshold or precision.
+type QuerySpec struct {
+	Scenario ScenarioSpec  `json:"scenario"`
+	Attack   *AttackSpec   `json:"attack,omitempty"`
+	Metric   string        `json:"metric,omitempty"` // default churn_min_mean
+	Resample *ResampleSpec `json:"resample,omitempty"`
+	// Threshold asks "does metric stay >= threshold?": replication stops
+	// once the 95% CI excludes it, verdict pass or fail.
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Precision asks for the metric's value: replication stops once the
+	// 95% CI half-width is at most precision * |mean|, verdict resolved.
+	Precision *float64 `json:"precision,omitempty"`
+	MinReps   int      `json:"min_reps,omitempty"` // default 3
+	MaxReps   int      `json:"max_reps,omitempty"` // default 8, cap 256
+	// Stream false suppresses per-rep records; the response is the final
+	// record alone. Default true.
+	Stream *bool `json:"stream,omitempty"`
+}
+
+// Metric names. final_* metrics read the run's last snapshot point;
+// churn_min_mean is the Table 2 quantity (mean min-connectivity over the
+// churn window).
+const (
+	MetricChurnMinMean = "churn_min_mean"
+	MetricFinalMin     = "final_min"
+	MetricFinalAvg     = "final_avg"
+	MetricFinalSCC     = "final_scc"
+	MetricFinalN       = "final_n"
+)
+
+// MetricNames lists every queryable metric.
+func MetricNames() []string {
+	return []string{MetricChurnMinMean, MetricFinalMin, MetricFinalAvg, MetricFinalSCC, MetricFinalN}
+}
+
+// metricFromResult extracts a plain (non-resampled) metric.
+func metricFromResult(name string, r *scenario.Result) float64 {
+	last := r.Points[len(r.Points)-1]
+	switch name {
+	case MetricChurnMinMean:
+		return r.ChurnWindowSummary().Mean
+	case MetricFinalMin:
+		return float64(last.Min)
+	case MetricFinalAvg:
+		return last.Avg
+	case MetricFinalSCC:
+		return last.SCC
+	case MetricFinalN:
+		return float64(last.N)
+	}
+	panic("serve: unknown metric " + name) // Resolve validated it
+}
+
+// Query is a resolved, runnable QuerySpec.
+type Query struct {
+	Config   scenario.Config
+	Rule     sweep.StopRule
+	Metric   string
+	Resample *ResampleSpec
+	MinReps  int
+	MaxReps  int
+	Stream   bool
+}
+
+// maxRepsCap bounds a single query's replication budget.
+const maxRepsCap = 256
+
+// minutes converts a spec duration, with a fallback for the zero value.
+func minutes(m float64, def time.Duration) time.Duration {
+	if m <= 0 {
+		return def
+	}
+	return time.Duration(m * float64(time.Minute))
+}
+
+// Resolve validates the spec and binds it to a scenario configuration.
+// The config's name is derived from its arena key, so identical specs —
+// however spelled — resolve to the same run identity.
+func (qs QuerySpec) Resolve() (Query, error) {
+	sc, err := scenario.ScaleByName(qs.Scenario.Scale)
+	if err != nil {
+		return Query{}, err
+	}
+	size := qs.Scenario.Size
+	if size == 0 {
+		size = sc.Small
+	}
+	cfg := scenario.Config{
+		Seed:             qs.Scenario.Seed,
+		Size:             size,
+		K:                qs.Scenario.K,
+		Alpha:            qs.Scenario.Alpha,
+		Bits:             qs.Scenario.Bits,
+		Staleness:        qs.Scenario.Staleness,
+		Traffic:          qs.Scenario.Traffic,
+		Setup:            minutes(qs.Scenario.SetupMinutes, sc.Setup),
+		Stabilize:        minutes(qs.Scenario.StabilizeMinutes, sc.Stabilize),
+		SnapshotInterval: minutes(qs.Scenario.SnapshotMinutes, sc.SnapshotInterval),
+		SampleFraction:   qs.Scenario.SampleFraction,
+	}
+	if cfg.SampleFraction == 0 {
+		cfg.SampleFraction = sc.SampleFraction
+	}
+	if qs.Scenario.Loss != "" {
+		if cfg.Loss, err = simnet.ParseLossLevel(qs.Scenario.Loss); err != nil {
+			return Query{}, err
+		}
+	}
+	if qs.Scenario.Churn != "" {
+		if cfg.Churn, err = churn.ParseRate(qs.Scenario.Churn); err != nil {
+			return Query{}, err
+		}
+	}
+	if qs.Attack != nil {
+		st, err := attack.ParseStrategy(qs.Attack.Strategy)
+		if err != nil {
+			return Query{}, err
+		}
+		_, defInterval := sc.AttackPhase()
+		cfg.Attack = attack.Config{
+			Strategy: st,
+			Budget:   qs.Attack.Budget,
+			Kills:    qs.Attack.Kills,
+			Interval: minutes(qs.Attack.IntervalMinutes, defInterval),
+		}
+		if cfg.Attack.Budget == 0 {
+			cfg.Attack.Budget = scenario.AttackBudget(size)
+		}
+	}
+	// The churn window: explicit minutes, else the scale's long phase
+	// whenever churn or an adversary needs a window at all.
+	if !cfg.Churn.IsZero() || cfg.Attack.Enabled() {
+		cfg.ChurnPhase = minutes(qs.Scenario.ChurnMinutes, sc.ChurnLong)
+	}
+
+	metric := qs.Metric
+	if metric == "" {
+		metric = MetricChurnMinMean
+	}
+	known := false
+	for _, m := range MetricNames() {
+		if m == metric {
+			known = true
+		}
+	}
+	if !known {
+		return Query{}, fmt.Errorf("serve: unknown metric %q (have %v)", metric, MetricNames())
+	}
+	if qs.Resample != nil && metric != MetricFinalMin && metric != MetricFinalAvg {
+		return Query{}, fmt.Errorf("serve: resample applies only to %s/%s, not %q",
+			MetricFinalMin, MetricFinalAvg, metric)
+	}
+	if metric == MetricChurnMinMean && cfg.ChurnPhase == 0 {
+		return Query{}, fmt.Errorf("serve: metric %s needs a churn window (set churn or attack)", MetricChurnMinMean)
+	}
+
+	var rule sweep.StopRule
+	switch {
+	case qs.Threshold != nil && qs.Precision != nil:
+		return Query{}, fmt.Errorf("serve: threshold and precision are mutually exclusive")
+	case qs.Threshold != nil:
+		rule = sweep.StopAtThreshold(*qs.Threshold)
+	case qs.Precision != nil:
+		if *qs.Precision <= 0 {
+			return Query{}, fmt.Errorf("serve: precision must be positive")
+		}
+		rule = sweep.StopAtPrecision(*qs.Precision)
+	default:
+		return Query{}, fmt.Errorf("serve: query needs a threshold or a precision")
+	}
+
+	if qs.MaxReps > maxRepsCap {
+		return Query{}, fmt.Errorf("serve: max_reps %d exceeds the cap %d", qs.MaxReps, maxRepsCap)
+	}
+	if qs.MinReps > 0 && qs.MaxReps > 0 && qs.MaxReps < qs.MinReps {
+		return Query{}, fmt.Errorf("serve: max_reps %d < min_reps %d", qs.MaxReps, qs.MinReps)
+	}
+
+	cfg.Name = queryName(cfg)
+	if err := cfg.WithDefaults().Validate(); err != nil {
+		return Query{}, err
+	}
+	stream := true
+	if qs.Stream != nil {
+		stream = *qs.Stream
+	}
+	return Query{
+		Config: cfg, Rule: rule, Metric: metric, Resample: qs.Resample,
+		MinReps: qs.MinReps, MaxReps: qs.MaxReps, Stream: stream,
+	}, nil
+}
+
+// queryName labels a query's runs by a short hash of their arena key:
+// stable across restarts, identical for equivalent specs.
+func queryName(cfg scenario.Config) string {
+	h := fnv.New64a()
+	h.Write([]byte(Key(cfg)))
+	return fmt.Sprintf("query/%08x", h.Sum64()&0xFFFFFFFF)
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"kadre/internal/connectivity"
+	"kadre/internal/scenario"
+	"kadre/internal/sweep"
+)
+
+// Server is the HTTP face of the resilience-query service. Handlers are
+// safe for concurrent use: simulation state lives in the shared arena,
+// per-query state on the handler's stack.
+type Server struct {
+	arena *Arena
+	jobs  int
+	gov   connectivity.GovernancePolicy
+	mux   *http.ServeMux
+}
+
+// Options configures NewServer.
+type Options struct {
+	// Arena is the shared engine pool; nil creates a default-budget one.
+	Arena *Arena
+	// Jobs bounds each query's concurrently executing replications;
+	// <= 0 means GOMAXPROCS. Replication output is identical either way.
+	Jobs int
+	// Governance is the memory policy installed on every query's runs
+	// (the zero policy takes the scenario defaults).
+	Governance connectivity.GovernancePolicy
+}
+
+// NewServer builds the service and its routes.
+func NewServer(opts Options) *Server {
+	s := &Server{arena: opts.Arena, jobs: opts.Jobs, gov: opts.Governance}
+	if s.arena == nil {
+		s.arena = NewArena(ArenaOptions{})
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/arena", s.handleArena)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+// Arena returns the server's engine pool (shared with the maintenance
+// loop and with tests).
+func (s *Server) Arena() *Arena { return s.arena }
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleArena(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.arena.Stats())
+}
+
+// handleQuery runs one adaptively replicated resilience query, streaming
+// a record per consumed replication and a final verdict record. All
+// simulation and analysis state flows through the arena, so repeating a
+// query against warm state answers from memory without a single bind.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var spec QuerySpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorRecord{Type: "error", Error: "bad query spec: " + err.Error()})
+		return
+	}
+	q, err := spec.Resolve()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorRecord{Type: "error", Error: err.Error()})
+		return
+	}
+	cfg := q.Config
+	cfg.Governance = s.gov
+
+	// Per-query metric values, keyed by the shared Result pointer each
+	// rep's arena entry returned: the runner computes the value (it holds
+	// the entry, which resampled metrics need), Extract just looks it up.
+	var values sync.Map
+	runner := func(c scenario.Config) (*scenario.Result, bool, error) {
+		e, warm, err := s.arena.Get(c)
+		if err != nil {
+			return nil, false, err
+		}
+		v, err := s.metricValue(q, e)
+		if err != nil {
+			return nil, false, err
+		}
+		values.Store(e.Result(), v)
+		return e.Result(), warm, nil
+	}
+
+	out := newStreamWriter(w, r)
+	hits, misses := 0, 0
+	ar, err := sweep.RunAdaptive(cfg, sweep.AdaptiveOptions{
+		Rule:    q.Rule,
+		Extract: func(res *scenario.Result) float64 { v, _ := values.Load(res); return v.(float64) },
+		MinReps: q.MinReps, MaxReps: q.MaxReps, Jobs: s.jobs,
+		Runner: runner,
+		Progress: func(u sweep.RepUpdate) {
+			// Warm/cold accounting covers exactly the consumed prefix, so
+			// the final record is identical under any Jobs value (arena
+			// counters also see discarded speculative reps).
+			if u.Cached {
+				hits++
+			} else {
+				misses++
+			}
+			if q.Stream {
+				out.write("rep", repRecord{
+					Type: "rep", Rep: u.Rep, Seed: u.Seed, Value: jsonFloat(u.Value),
+					Reps: u.Reps, Mean: jsonFloat(u.Mean), CI95: jsonFloat(u.CI95),
+					Decided: u.Decided, Verdict: string(u.Verdict), Cached: u.Cached,
+				})
+			}
+		},
+	})
+	if err != nil {
+		out.write("error", errorRecord{Type: "error", Error: err.Error()})
+		return
+	}
+	final := resultRecord{
+		Type: "result", Name: cfg.Name, Metric: q.Metric,
+		Verdict: string(ar.Verdict), Reps: len(ar.Values),
+		Values: make([]jsonFloat, len(ar.Values)),
+		Mean:   jsonFloat(ar.Mean), CI95: jsonFloat(ar.CI95),
+		Threshold: maybeThreshold(q.Rule), Precision: maybePrecision(q.Rule),
+		ArenaHits: hits, ArenaMisses: misses,
+	}
+	for i, v := range ar.Values {
+		final.Values[i] = jsonFloat(v)
+	}
+	out.write("result", final)
+}
+
+// metricValue computes a query's metric against one warm entry.
+func (s *Server) metricValue(q Query, e *Entry) (float64, error) {
+	if q.Resample == nil {
+		return metricFromResult(q.Metric, e.Result()), nil
+	}
+	sr, err := e.AnalyzeFinal(q.Resample.Fraction, q.Resample.Seed)
+	if err != nil {
+		return 0, err
+	}
+	if q.Metric == MetricFinalMin {
+		return float64(sr.Min.Min), nil
+	}
+	if sr.Avg.Pairs == 0 {
+		// No evaluable sampled pair (or a complete graph): the runner's
+		// own definitional fallback.
+		return float64(e.FinalN() - 1), nil
+	}
+	return sr.Avg.Avg, nil
+}
+
+// maybeThreshold and maybePrecision render the stopping rule in the form
+// the wire records serialize: the active bound as a pointer, nil for the
+// other.
+func maybeThreshold(r sweep.StopRule) *float64 {
+	if t, ok := r.Threshold(); ok {
+		return &t
+	}
+	return nil
+}
+
+func maybePrecision(r sweep.StopRule) *float64 {
+	if p := r.Precision(); p > 0 {
+		return &p
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure here means the client went away; nothing to do.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,251 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"kadre/internal/scenario"
+	"kadre/internal/stats"
+)
+
+// fakeRunner fabricates deterministic per-seed results without running a
+// simulation: the metric value is a seeded pseudo-random draw around a
+// chosen mean, so stopping-rule behavior can be exercised across many
+// fixtures cheaply. The draw depends only on the config's seed.
+func fakeRunner(mean, spread float64) func(scenario.Config) (*scenario.Result, bool, error) {
+	return func(cfg scenario.Config) (*scenario.Result, bool, error) {
+		x := uint64(cfg.Seed) * 0x9E3779B97F4A7C15
+		x ^= x >> 29
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 32
+		// Uniform in [-spread, spread) around mean.
+		u := float64(x%(1<<20))/float64(1<<20)*2 - 1
+		v := mean + u*spread
+		res := &scenario.Result{Config: cfg.WithDefaults()}
+		res.Points = append(res.Points, scenario.SnapshotStat{
+			Time: time.Minute, N: 10, Min: int(math.Max(0, math.Round(v))), Avg: v,
+		})
+		return res, false, nil
+	}
+}
+
+func finalAvg(r *scenario.Result) float64 { return r.Points[len(r.Points)-1].Avg }
+
+func TestStopRuleDecide(t *testing.T) {
+	cases := []struct {
+		rule        StopRule
+		mean, half  float64
+		wantVerdict Verdict
+		wantDecided bool
+	}{
+		{StopAtThreshold(5), 7, 1, VerdictPass, true},
+		{StopAtThreshold(5), 6, 1, VerdictPass, true}, // lo == thr: pass
+		{StopAtThreshold(5), 3, 1, VerdictFail, true},
+		{StopAtThreshold(5), 4.5, 1, VerdictUndecided, false},
+		{StopAtThreshold(5), 5, 0, VerdictPass, true}, // zero-variance at thr
+		{StopAtThreshold(5), 7, math.NaN(), VerdictUndecided, false},
+		{StopAtPrecision(0.1), 10, 0.5, VerdictResolved, true},
+		{StopAtPrecision(0.1), 10, 2, VerdictUndecided, false},
+		{StopAtPrecision(0.1), 0, 0, VerdictResolved, true}, // all-zero sample
+		{StopAtPrecision(0.1), 0, math.NaN(), VerdictUndecided, false},
+	}
+	for i, c := range cases {
+		v, d := c.rule.decide(c.mean, c.half)
+		if v != c.wantVerdict || d != c.wantDecided {
+			t.Errorf("case %d: decide(%v, %v) = (%s, %v), want (%s, %v)",
+				i, c.mean, c.half, v, d, c.wantVerdict, c.wantDecided)
+		}
+	}
+}
+
+// TestAdaptiveDeterministicAcrossJobs pins the adaptive contract on real
+// simulations: rep counts, values, aggregates and the rep-ordered update
+// stream are byte-identical under any worker count (run with -race).
+func TestAdaptiveDeterministicAcrossJobs(t *testing.T) {
+	cfg := tinyConfig("adaptive-det", 11)
+	run := func(jobs int) (*AdaptiveResult, string) {
+		var updates []RepUpdate
+		ar, err := RunAdaptive(cfg, AdaptiveOptions{
+			// A threshold far above any tiny network's average keeps the
+			// verdict a quick, decisive fail.
+			Rule:    StopAtThreshold(1000),
+			Extract: func(r *scenario.Result) float64 { return r.ChurnWindowSummary().Mean },
+			MinReps: 2, MaxReps: 6, Jobs: jobs,
+			Progress: func(u RepUpdate) {
+				u.Elapsed = 0 // wall-clock is the one nondeterministic field
+				updates = append(updates, u)
+			},
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		// fmt, not JSON: the rep-0 update carries a NaN CI half-width.
+		return ar, fmt.Sprintf("%+v", updates)
+	}
+	ar1, stream1 := run(1)
+	ar8, stream8 := run(8)
+	if len(ar1.Reps) != len(ar8.Reps) {
+		t.Fatalf("rep counts differ: jobs=1 %d, jobs=8 %d", len(ar1.Reps), len(ar8.Reps))
+	}
+	if ar1.Verdict != ar8.Verdict {
+		t.Fatalf("verdicts differ: %s vs %s", ar1.Verdict, ar8.Verdict)
+	}
+	if !reflect.DeepEqual(ar1.Values, ar8.Values) {
+		t.Fatalf("values differ:\n%v\n%v", ar1.Values, ar8.Values)
+	}
+	if ar1.Mean != ar8.Mean || !(ar1.CI95 == ar8.CI95 || (math.IsNaN(ar1.CI95) && math.IsNaN(ar8.CI95))) {
+		t.Fatalf("aggregates differ: (%v, %v) vs (%v, %v)", ar1.Mean, ar1.CI95, ar8.Mean, ar8.CI95)
+	}
+	if stream1 != stream8 {
+		t.Fatalf("update streams differ:\n%s\n%s", stream1, stream8)
+	}
+	rs1, err := ar1.RunSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs8, err := ar8.RunSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs1.Min, rs8.Min) || !reflect.DeepEqual(rs1.Avg, rs8.Avg) {
+		t.Fatal("aggregated RunSet series differ across jobs")
+	}
+}
+
+// TestAdaptiveStopsEarly asserts the point of the exercise: a decisive
+// query consumes fewer reps than the cap, and its updates arrive in rep
+// order with monotonically consumed counts.
+func TestAdaptiveStopsEarly(t *testing.T) {
+	var updates []RepUpdate
+	ar, err := RunAdaptive(scenario.Config{Name: "early", Seed: 3, Size: 10}, AdaptiveOptions{
+		Rule:    StopAtThreshold(5),
+		Extract: finalAvg,
+		MinReps: 2, MaxReps: 64, Jobs: 4,
+		Runner:   fakeRunner(20, 1), // mean 20 >> threshold 5: decides at MinReps
+		Progress: func(u RepUpdate) { updates = append(updates, u) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Verdict != VerdictPass {
+		t.Fatalf("verdict = %s, want pass", ar.Verdict)
+	}
+	if len(ar.Reps) != 2 {
+		t.Fatalf("consumed %d reps, want 2 (decide at MinReps)", len(ar.Reps))
+	}
+	for i, u := range updates {
+		if u.Rep != i || u.Reps != i+1 {
+			t.Fatalf("update %d out of order: rep=%d reps=%d", i, u.Rep, u.Reps)
+		}
+	}
+	if last := updates[len(updates)-1]; !last.Decided || last.Verdict != VerdictPass {
+		t.Fatalf("last update not decided: %+v", last)
+	}
+}
+
+// TestAdaptiveVerdictAgreesWithFull is the agreement property on seeded
+// fixtures: whenever an early stop declares pass or fail, the verdict of
+// the full MaxReps replication (the fixed-R answer a batch sweep would
+// give) is the same. Fixtures place the mean at least one spread away
+// from the threshold so the full-sample CI is decided too.
+func TestAdaptiveVerdictAgreesWithFull(t *testing.T) {
+	const threshold = 10.0
+	const maxReps = 12
+	fixtures := 0
+	for seed := int64(1); seed <= 60; seed++ {
+		for _, mean := range []float64{4, 7, 13, 16} {
+			spread := 2.0 // |mean - threshold| >= 3 > spread: well-separated
+			cfg := scenario.Config{Name: "prop", Seed: seed, Size: 10}
+			runner := fakeRunner(mean, spread)
+			early, err := RunAdaptive(cfg, AdaptiveOptions{
+				Rule: StopAtThreshold(threshold), Extract: finalAvg,
+				MinReps: 3, MaxReps: maxReps, Jobs: 4, Runner: runner,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if early.Verdict == VerdictUndecided {
+				continue // cap reached: nothing to compare
+			}
+			// The full-replication answer: all maxReps values, one CI.
+			var values []float64
+			for rep := 0; rep < maxReps; rep++ {
+				rc := cfg
+				rc.Seed = DeriveSeed(cfg.Seed, rep)
+				r, _, err := runner(rc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				values = append(values, finalAvg(r))
+			}
+			m, h := stats.Mean(values), stats.CI95Half(values)
+			full, decided := StopAtThreshold(threshold).decide(m, h)
+			if !decided {
+				t.Fatalf("seed %d mean %v: full-replication CI undecided (mean %v half %v)", seed, mean, m, h)
+			}
+			if full != early.Verdict {
+				t.Fatalf("seed %d mean %v: early verdict %s (after %d reps) != full verdict %s",
+					seed, mean, early.Verdict, len(early.Reps), full)
+			}
+			fixtures++
+		}
+	}
+	if fixtures < 100 {
+		t.Fatalf("only %d decided fixtures exercised, want >= 100", fixtures)
+	}
+}
+
+func TestAdaptiveOptionValidation(t *testing.T) {
+	cfg := scenario.Config{Name: "v", Seed: 1, Size: 10}
+	if _, err := RunAdaptive(cfg, AdaptiveOptions{Rule: StopAtThreshold(1)}); err == nil {
+		t.Fatal("missing Extract must error")
+	}
+	if _, err := RunAdaptive(cfg, AdaptiveOptions{Extract: finalAvg}); err == nil {
+		t.Fatal("empty rule must error")
+	}
+	if _, err := RunAdaptive(cfg, AdaptiveOptions{
+		Rule: StopAtThreshold(1), Extract: finalAvg, MinReps: 6, MaxReps: 4,
+	}); err == nil {
+		t.Fatal("MaxReps < MinReps must error")
+	}
+}
+
+// TestOrderedProgress pins the Ordered option: the event stream of a
+// multi-config replicated sweep arrives in exact (config, rep) order for
+// any worker count, with Done counting delivered events.
+func TestOrderedProgress(t *testing.T) {
+	cfgs := []scenario.Config{tinyConfig("ord-a", 21), tinyConfig("ord-b", 22)}
+	collect := func(jobs int) []Event {
+		var evs []Event
+		_, err := Run(cfgs, Options{
+			Reps: 2, Jobs: jobs, Ordered: true,
+			Progress: func(ev Event) {
+				ev.Elapsed = 0
+				evs = append(evs, ev)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	seq := collect(4)
+	want := 0
+	for ci, cfg := range cfgs {
+		for rep := 0; rep < 2; rep++ {
+			ev := seq[want]
+			if ev.Name != cfg.Name || ev.Rep != rep || ev.Done != want+1 {
+				t.Fatalf("event %d = {%s rep %d done %d}, want {%s rep %d done %d}",
+					want, ev.Name, ev.Rep, ev.Done, cfg.Name, rep, want+1)
+			}
+			_ = ci
+			want++
+		}
+	}
+	if !reflect.DeepEqual(seq, collect(1)) {
+		t.Fatal("ordered event streams differ across jobs")
+	}
+}

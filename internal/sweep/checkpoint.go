@@ -91,9 +91,15 @@ type ckptVictim struct {
 	ID   string `json:"id"`
 }
 
-// fingerprint condenses every configuration field that shapes a run's
-// measurements. Seed and Name are keyed separately; Log/OnSnapshot and
-// Workers only affect observation and scheduling, never results.
+// Fingerprint condenses every configuration field that shapes a run's
+// measurements into a canonical string. Seed and Name are deliberately
+// absent (checkpoints key them separately; caches append the seed
+// themselves), as are Log/OnSnapshot, Workers and Governance, which only
+// affect observation, scheduling and maintenance, never results. Shared
+// by checkpoint resume and by cross-run warm-state caches (the kadserve
+// engine arena), so one definition decides what "the same run" means.
+func Fingerprint(cfg scenario.Config) string { return fingerprint(cfg) }
+
 func fingerprint(cfg scenario.Config) string {
 	// Attack.String() renders strategy/kills/interval/budget only, so the
 	// cutset analyzer's sampling fraction is keyed explicitly: it changes
