@@ -23,6 +23,12 @@
 //	-addr a             listen address (default :8700)
 //	-arena-mb n         arena memory budget in MiB (default 256)
 //	-jobs j             concurrent replications per query; 0 = GOMAXPROCS
+//	-max-concurrent-sims n
+//	                    total concurrently executing replications across
+//	                    all queries, FIFO admission; 0 = GOMAXPROCS,
+//	                    negative = unlimited
+//	-default-deadline d wall-clock budget for queries without their own
+//	                    deadline_ms; 0 = none (default)
 //	-max-dead-frac f    re-densify solver arc stores above this dead
 //	                    fraction; <= 0 disables (default 0.5)
 //	-max-slot-slack f   compact slot tables above this vacancy/live
@@ -30,6 +36,11 @@
 //	-maintain-interval d arena maintenance cadence (default 30s)
 //	-drain-timeout d    shutdown grace for in-flight queries (default 30s)
 //	-quiet              suppress log lines
+//
+// A client that disconnects (or a query that outlives its deadline)
+// cancels its simulations inside the event kernel within one event
+// batch and releases its admission slots; completed replications stay
+// warm in the arena either way.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains:
 // in-flight queries stream to completion (up to -drain-timeout), then
@@ -70,6 +81,8 @@ func run(args []string, stdout io.Writer, ready func(addr string), shutdown <-ch
 		addr         = fs.String("addr", ":8700", "listen address")
 		arenaMB      = fs.Int64("arena-mb", 256, "arena memory budget (MiB)")
 		jobs         = fs.Int("jobs", 0, "concurrent replications per query (0 = GOMAXPROCS)")
+		maxSims      = fs.Int("max-concurrent-sims", 0, "total concurrent replications across all queries (0 = GOMAXPROCS, negative = unlimited)")
+		defDeadline  = fs.Duration("default-deadline", 0, "deadline for queries without deadline_ms (0 = none)")
 		maxDeadFrac  = fs.Float64("max-dead-frac", 0.5, "re-densify arc stores above this dead fraction (<= 0 disables)")
 		maxSlotSlack = fs.Float64("max-slot-slack", 0.5, "compact slot tables above this vacancy/live ratio (<= 0 disables)")
 		maintainIvl  = fs.Duration("maintain-interval", 30*time.Second, "arena maintenance cadence")
@@ -86,9 +99,11 @@ func run(args []string, stdout io.Writer, ready func(addr string), shutdown <-ch
 	}
 
 	srv := serve.NewServer(serve.Options{
-		Arena:      serve.NewArena(serve.ArenaOptions{BudgetBytes: *arenaMB << 20}),
-		Jobs:       *jobs,
-		Governance: connectivity.PolicyFromKnobs(*maxDeadFrac, *maxSlotSlack),
+		Arena:             serve.NewArena(serve.ArenaOptions{BudgetBytes: *arenaMB << 20}),
+		Jobs:              *jobs,
+		Governance:        connectivity.PolicyFromKnobs(*maxDeadFrac, *maxSlotSlack),
+		MaxConcurrentSims: *maxSims,
+		DefaultDeadline:   *defDeadline,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

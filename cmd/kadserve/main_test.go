@@ -3,6 +3,8 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
+	"encoding/json"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -177,6 +179,76 @@ func TestGracefulDrainCompletesInFlight(t *testing.T) {
 	// Drained means drained: new connections must be refused.
 	if _, err := http.Get("http://" + s.addr + "/v1/healthz"); err == nil {
 		t.Fatal("server still accepting after drain")
+	}
+}
+
+// TestClientDisconnectCancelsQuery is the CI cancellation probe in test
+// form: kill the client after the first rep record, then assert the
+// server reports itself healthy with zero running queries and a released
+// admission queue — the disconnected query must not leak its slot.
+func TestClientDisconnectCancelsQuery(t *testing.T) {
+	s := startServer(t, "-jobs", "1", "-max-concurrent-sims", "2")
+	spec, err := os.ReadFile(filepath.Join("testdata", "cancel_query.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST",
+		"http://"+s.addr+"/v1/query", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() || !strings.Contains(sc.Text(), `"type":"rep"`) {
+		t.Fatalf("no first rep record: %q %v", sc.Text(), sc.Err())
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The kernel stops within one event batch; well before this deadline
+	// the /v1/arena breakdown must show the query gone and its slot free.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st struct {
+			Sched struct {
+				InUse    int64 `json:"in_use"`
+				Queued   int64 `json:"queued"`
+				Running  int64 `json:"running"`
+				Canceled int64 `json:"canceled"`
+			} `json:"sched"`
+		}
+		ar, err := http.Get("http://" + s.addr + "/v1/arena")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(ar.Body).Decode(&st)
+		ar.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Sched.Running == 0 && st.Sched.Queued == 0 && st.Sched.InUse == 0 {
+			if st.Sched.Canceled != 1 {
+				t.Fatalf("canceled counter = %d, want 1", st.Sched.Canceled)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query never released its admission slot: %+v", st.Sched)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	hz, err := http.Get("http://" + s.addr + "/v1/healthz")
+	if err != nil || hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after cancellation: %v %v", hz, err)
+	}
+	hz.Body.Close()
+	if err := s.shutdown(t); err != nil {
+		t.Fatalf("drain after cancellation: %v", err)
 	}
 }
 

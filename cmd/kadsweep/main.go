@@ -84,6 +84,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -348,7 +349,7 @@ func runAdaptiveGroups(exps []scenario.Experiment, opts options, pooled bool) ([
 			if pooled {
 				name = exp.ID + "/" + name
 			}
-			ar, err := sweep.RunAdaptive(cfg, sweep.AdaptiveOptions{
+			ar, err := sweep.RunAdaptive(context.Background(), cfg, sweep.AdaptiveOptions{
 				Rule:    sweep.StopAtPrecision(opts.ciStop),
 				Extract: func(r *scenario.Result) float64 { return r.ChurnWindowSummary().Mean },
 				MinReps: minReps, MaxReps: opts.reps, Jobs: opts.jobs,

@@ -8,6 +8,7 @@ package eventsim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"math/rand"
 	"time"
@@ -16,6 +17,13 @@ import (
 // ErrPastTime reports an attempt to schedule an event before the current
 // virtual time.
 var ErrPastTime = errors.New("eventsim: cannot schedule event in the past")
+
+// DefaultCancelBatch is the event-batch granularity at which Run and
+// RunUntil poll an installed cancel context: a canceled run stops within
+// at most this many further events. Small enough that even a dense
+// simulation halts in microseconds, large enough that the poll is
+// invisible next to real event work.
+const DefaultCancelBatch = 256
 
 // Simulator is a discrete-event simulator with a virtual clock. The zero
 // value is not usable; construct with New.
@@ -27,6 +35,10 @@ type Simulator struct {
 	processed uint64
 	cancelled uint64
 	stopped   bool
+
+	cancelCtx   context.Context
+	cancelEvery uint64
+	cancelErr   error
 }
 
 // Timer is a handle to a scheduled event. Cancel prevents a pending event
@@ -97,6 +109,45 @@ func (s *Simulator) Now() time.Duration { return s.now }
 // reproducible.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
+// SetCancel installs ctx as the kernel's cancellation signal: Run and
+// RunUntil poll ctx between batches of every fired events (every <= 0
+// means DefaultCancelBatch) and return early once ctx is done, recording
+// the cause for Err. The poll never touches the clock, the queue or the
+// RNG, so a run that completes — whether ctx fires late or never — is
+// byte-identical to one executed without a cancel context.
+func (s *Simulator) SetCancel(ctx context.Context, every int) {
+	s.cancelCtx = ctx
+	if every <= 0 {
+		every = DefaultCancelBatch
+	}
+	s.cancelEvery = uint64(every)
+}
+
+// Err returns the cancellation cause that interrupted the most recent Run
+// or RunUntil, or nil if it ran to completion.
+func (s *Simulator) Err() error { return s.cancelErr }
+
+// interrupted polls the installed cancel context at batch boundaries.
+// countdown counts events remaining in the current batch; a zero value
+// forces a poll (so the first event of a run never fires canceled).
+func (s *Simulator) interrupted(countdown *uint64) bool {
+	if *countdown > 0 {
+		*countdown--
+		return false
+	}
+	if s.cancelCtx != nil {
+		if err := s.cancelCtx.Err(); err != nil {
+			s.cancelErr = err
+			return true
+		}
+	}
+	*countdown = s.cancelEvery
+	if *countdown > 0 {
+		*countdown--
+	}
+	return false
+}
+
 // Processed reports how many events have fired so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
@@ -154,18 +205,35 @@ func (s *Simulator) Step() bool {
 	return false
 }
 
-// Run fires events until the queue is empty or Stop is called.
+// Run fires events until the queue is empty, Stop is called, or an
+// installed cancel context (SetCancel) fires at a batch boundary.
 func (s *Simulator) Run() {
 	s.stopped = false
-	for !s.stopped && s.Step() {
+	s.cancelErr = nil
+	var countdown uint64
+	for !s.stopped {
+		if s.interrupted(&countdown) {
+			return
+		}
+		if !s.Step() {
+			return
+		}
 	}
 }
 
 // RunUntil fires events with time <= deadline, then advances the clock to
-// the deadline. Events scheduled beyond the deadline stay queued.
+// the deadline. Events scheduled beyond the deadline stay queued. When an
+// installed cancel context (SetCancel) fires, the run stops within one
+// event batch without advancing the clock to the deadline — the partial
+// state is the caller's to discard.
 func (s *Simulator) RunUntil(deadline time.Duration) {
 	s.stopped = false
+	s.cancelErr = nil
+	var countdown uint64
 	for !s.stopped {
+		if s.interrupted(&countdown) {
+			return
+		}
 		next, ok := s.peek()
 		if !ok || next > deadline {
 			break

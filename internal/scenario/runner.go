@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -19,7 +20,16 @@ import (
 // optional traffic and churn, periodic connectivity snapshots, exactly as
 // described in §5.3-§5.4 of the paper.
 func Run(cfg Config) (*Result, error) {
-	res, _, err := RunBound(cfg)
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a cancel context: when ctx is canceled (or its
+// deadline passes) mid-run, the event kernel stops within one event batch,
+// the pending snapshot analyses are skipped, and the partial run is
+// discarded with an error wrapping ctx's cause. A run that completes is
+// byte-identical to an uncanceled Run.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	res, _, err := RunBoundCtx(ctx, cfg)
 	return res, err
 }
 
@@ -54,6 +64,19 @@ func (b *Bound) Ready() bool { return b != nil && b.Final != nil }
 // engine binding instead of discarding it. The Result is byte-identical
 // to Run's for the same config.
 func RunBound(cfg Config) (*Result, *Bound, error) {
+	return RunBoundCtx(context.Background(), cfg)
+}
+
+// RunBoundCtx is RunBound under a cancel context (see RunCtx). The
+// cancellation signal is checked at two grains: the event kernel polls it
+// every eventsim.DefaultCancelBatch fired events, and the snapshot
+// callback checks it before paying a connectivity analysis — so a
+// canceled run stops within one event batch and never starts another
+// max-flow sweep.
+func RunBoundCtx(ctx context.Context, cfg Config) (*Result, *Bound, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
@@ -61,6 +84,7 @@ func RunBound(cfg Config) (*Result, *Bound, error) {
 	start := time.Now()
 
 	sim := eventsim.New(cfg.Seed)
+	sim.SetCancel(ctx, 0)
 	net := simnet.New(sim, simnet.Config{
 		Latency: simnet.UniformLatency{Min: 10 * time.Millisecond, Max: 100 * time.Millisecond},
 		Loss:    cfg.Loss.Model(),
@@ -148,6 +172,15 @@ func RunBound(cfg Config) (*Result, *Bound, error) {
 	var lastSnap *snapshot.SlotSnapshot
 	var lastAvgSeed int64
 	snap := func() {
+		// Snapshot-boundary cancellation check: the analysis below is the
+		// run's expensive unit of work, and the kernel's event-batch poll
+		// cannot interrupt a max-flow sweep already inside one event. A
+		// canceled query therefore never starts another analysis; Stop
+		// makes the kernel return without draining cheaper events first.
+		if ctx.Err() != nil {
+			sim.Stop()
+			return
+		}
 		s := snapshot.CaptureSlots(sim.Now(), pop.nodes, &slots)
 		point := SnapshotStat{
 			Time: sim.Now(), N: s.N(), Edges: s.Graph.M(),
@@ -209,6 +242,12 @@ func RunBound(cfg Config) (*Result, *Bound, error) {
 	}
 
 	sim.RunUntil(cfg.Total())
+	if err := ctx.Err(); err != nil {
+		// The partial run is discarded wholesale: no Result, no Bound, so
+		// a canceled replication can never park half-simulated state in a
+		// caller's cache (the kadserve arena relies on this).
+		return nil, nil, fmt.Errorf("scenario %q: run canceled: %w", cfg.Name, err)
+	}
 	if spawnErr != nil {
 		return nil, nil, spawnErr
 	}

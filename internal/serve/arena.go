@@ -7,6 +7,8 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -14,6 +16,13 @@ import (
 	"kadre/internal/scenario"
 	"kadre/internal/sweep"
 )
+
+// isCancellation reports whether err stems from a context ending —
+// client disconnect (Canceled) or deadline (DeadlineExceeded) — as
+// opposed to a simulation genuinely failing.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Arena is a keyed pool of warm engine bindings shared by every query
 // the server handles. A simulation run is a pure function of its
@@ -35,7 +44,7 @@ type Arena struct {
 	entries   map[string]*list.Element // key -> element whose Value is *Entry
 	lru       *list.List               // front = most recently used
 	inflight  map[string]*inflightRun
-	runner    func(scenario.Config) (*scenario.Result, *scenario.Bound, error)
+	runner    func(context.Context, scenario.Config) (*scenario.Result, *scenario.Bound, error)
 	hits      int64
 	misses    int64
 	builds    int64
@@ -48,9 +57,10 @@ type ArenaOptions struct {
 	// entries; <= 0 means 256 MiB. A single entry larger than the budget
 	// is still admitted (and evicts everything else).
 	BudgetBytes int64
-	// Runner executes one simulation and hands back its warm binding.
-	// Nil means scenario.RunBound; tests inject fabricated runs.
-	Runner func(scenario.Config) (*scenario.Result, *scenario.Bound, error)
+	// Runner executes one simulation and hands back its warm binding,
+	// abandoning the run once ctx is done. Nil means scenario.RunBoundCtx;
+	// tests inject fabricated runs.
+	Runner func(context.Context, scenario.Config) (*scenario.Result, *scenario.Bound, error)
 }
 
 // DefaultArenaBudget is the resident-footprint bound when none is given.
@@ -64,7 +74,7 @@ func NewArena(opts ArenaOptions) *Arena {
 	}
 	runner := opts.Runner
 	if runner == nil {
-		runner = scenario.RunBound
+		runner = scenario.RunBoundCtx
 	}
 	return &Arena{
 		budget:   budget,
@@ -174,58 +184,82 @@ func Key(cfg scenario.Config) string {
 }
 
 // Get returns the warm entry for cfg, building it with one simulation
-// run on a miss. The second return reports whether the entry was served
-// warm — from residency or by joining another caller's in-flight build —
-// i.e. without paying a simulation of its own.
-func (a *Arena) Get(cfg scenario.Config) (*Entry, bool, error) {
+// run on a miss; ctx cancels the caller's wait and its own build (the
+// event kernel polls it at batch boundaries). The second return reports
+// whether the entry was served warm — from residency or by joining
+// another caller's in-flight build — i.e. without paying a simulation of
+// its own.
+//
+// Cancellation never poisons the arena: an entry is created only when a
+// build completes, so an abandoned run leaves no trace, and a joiner
+// whose builder was canceled out from under it (while the joiner's own
+// ctx is still live) retries and becomes the builder itself rather than
+// inheriting the dead caller's error.
+func (a *Arena) Get(ctx context.Context, cfg scenario.Config) (*Entry, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key := Key(cfg)
-	a.mu.Lock()
-	if el, ok := a.entries[key]; ok {
-		a.lru.MoveToFront(el)
-		a.hits++
-		a.mu.Unlock()
-		return el.Value.(*Entry), true, nil
-	}
-	if call, ok := a.inflight[key]; ok {
-		a.hits++
-		a.mu.Unlock()
-		<-call.done
-		if call.err != nil {
-			return nil, false, call.err
+	for {
+		a.mu.Lock()
+		if el, ok := a.entries[key]; ok {
+			a.lru.MoveToFront(el)
+			a.hits++
+			a.mu.Unlock()
+			return el.Value.(*Entry), true, nil
 		}
-		return call.e, true, nil
-	}
-	call := &inflightRun{done: make(chan struct{})}
-	a.inflight[key] = call
-	a.misses++
-	a.mu.Unlock()
-
-	res, bind, err := a.runner(cfg)
-	var entry *Entry
-	if err == nil {
-		entry = &Entry{
-			key: key, cfg: cfg.WithDefaults(), res: res, bind: bind,
-			size: estimateSize(res, bind),
+		if call, ok := a.inflight[key]; ok {
+			a.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if call.err != nil {
+				if isCancellation(call.err) && ctx.Err() == nil {
+					// The builder's query went away, not ours: try again
+					// (and likely become the builder this round).
+					continue
+				}
+				return nil, false, call.err
+			}
+			a.mu.Lock()
+			a.hits++
+			a.mu.Unlock()
+			return call.e, true, nil
 		}
-	}
+		call := &inflightRun{done: make(chan struct{})}
+		a.inflight[key] = call
+		a.misses++
+		a.mu.Unlock()
 
-	a.mu.Lock()
-	delete(a.inflight, key)
-	if err == nil {
-		a.builds++
-		el := a.lru.PushFront(entry)
-		a.entries[key] = el
-		a.used += entry.size
-		a.evictOver(el)
-	}
-	a.mu.Unlock()
+		res, bind, err := a.runner(ctx, cfg)
+		var entry *Entry
+		if err == nil {
+			entry = &Entry{
+				key: key, cfg: cfg.WithDefaults(), res: res, bind: bind,
+				size: estimateSize(res, bind),
+			}
+		}
 
-	call.e, call.err = entry, err
-	close(call.done)
-	if err != nil {
-		return nil, false, err
+		a.mu.Lock()
+		delete(a.inflight, key)
+		if err == nil {
+			a.builds++
+			el := a.lru.PushFront(entry)
+			a.entries[key] = el
+			a.used += entry.size
+			a.evictOver(el)
+		}
+		a.mu.Unlock()
+
+		call.e, call.err = entry, err
+		close(call.done)
+		if err != nil {
+			return nil, false, err
+		}
+		return entry, false, nil
 	}
-	return entry, false, nil
 }
 
 // evictOver drops least-recently-used entries until the footprint fits
@@ -275,7 +309,10 @@ type ArenaStats struct {
 	Misses      int64        `json:"misses"`
 	Builds      int64        `json:"builds"`
 	Evictions   int64        `json:"evictions"`
-	Runs        []EntryStats `json:"runs,omitempty"`
+	// Sched is the admission-queue breakdown; the server fills it in (the
+	// arena itself has no scheduler).
+	Sched *SchedStats  `json:"sched,omitempty"`
+	Runs  []EntryStats `json:"runs,omitempty"`
 }
 
 // EntryStats describes one resident entry, most recently used first.

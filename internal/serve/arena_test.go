@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,8 +15,8 @@ import (
 
 // stubRunner fabricates a run without simulating: a one-point Result and
 // a Bound around a fresh (unbound) engine. calls counts cold builds.
-func stubRunner(calls *atomic.Int64) func(scenario.Config) (*scenario.Result, *scenario.Bound, error) {
-	return func(cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+func stubRunner(calls *atomic.Int64) func(context.Context, scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+	return func(_ context.Context, cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
 		calls.Add(1)
 		eng, err := connectivity.NewEngine(connectivity.EngineOptions{Workers: 1})
 		if err != nil {
@@ -40,13 +41,13 @@ func arenaCfg(name string, seed int64) scenario.Config {
 func TestArenaWarmHit(t *testing.T) {
 	var calls atomic.Int64
 	a := NewArena(ArenaOptions{Runner: stubRunner(&calls)})
-	e1, warm, err := a.Get(arenaCfg("a", 1))
+	e1, warm, err := a.Get(context.Background(), arenaCfg("a", 1))
 	if err != nil || warm {
 		t.Fatalf("cold Get: warm=%v err=%v", warm, err)
 	}
 	// Same effective config under a different name must hit: Name is not
 	// part of the arena key.
-	e2, warm, err := a.Get(arenaCfg("b", 1))
+	e2, warm, err := a.Get(context.Background(), arenaCfg("b", 1))
 	if err != nil || !warm {
 		t.Fatalf("warm Get: warm=%v err=%v", warm, err)
 	}
@@ -56,7 +57,7 @@ func TestArenaWarmHit(t *testing.T) {
 	if calls.Load() != 1 || a.Builds() != 1 {
 		t.Fatalf("runner calls=%d builds=%d, want 1/1", calls.Load(), a.Builds())
 	}
-	if _, warm, _ := a.Get(arenaCfg("a", 2)); warm {
+	if _, warm, _ := a.Get(context.Background(), arenaCfg("a", 2)); warm {
 		t.Fatal("different seed must miss")
 	}
 	st := a.Stats()
@@ -67,9 +68,9 @@ func TestArenaWarmHit(t *testing.T) {
 
 func TestArenaSingleflight(t *testing.T) {
 	var calls atomic.Int64
-	slow := func(cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+	slow := func(ctx context.Context, cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
 		time.Sleep(20 * time.Millisecond) // widen the race window
-		return stubRunner(&calls)(cfg)
+		return stubRunner(&calls)(ctx, cfg)
 	}
 	a := NewArena(ArenaOptions{Runner: slow})
 	const racers = 8
@@ -79,7 +80,7 @@ func TestArenaSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e, _, err := a.Get(arenaCfg("race", 7))
+			e, _, err := a.Get(context.Background(), arenaCfg("race", 7))
 			if err != nil {
 				t.Error(err)
 			}
@@ -102,7 +103,7 @@ func TestArenaLRUEviction(t *testing.T) {
 	// Each stub entry estimates to ~64 KiB; budget two entries' worth.
 	a := NewArena(ArenaOptions{BudgetBytes: 140 << 10, Runner: stubRunner(&calls)})
 	for seed := int64(1); seed <= 3; seed++ {
-		if _, _, err := a.Get(arenaCfg("e", seed)); err != nil {
+		if _, _, err := a.Get(context.Background(), arenaCfg("e", seed)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -114,10 +115,10 @@ func TestArenaLRUEviction(t *testing.T) {
 		t.Fatalf("used %d exceeds budget %d after eviction", st.UsedBytes, st.BudgetBytes)
 	}
 	// Seed 1 was least recently used: it must have been the victim.
-	if _, warm, _ := a.Get(arenaCfg("e", 2)); !warm {
+	if _, warm, _ := a.Get(context.Background(), arenaCfg("e", 2)); !warm {
 		t.Fatal("seed 2 should have survived")
 	}
-	if _, warm, _ := a.Get(arenaCfg("e", 1)); warm {
+	if _, warm, _ := a.Get(context.Background(), arenaCfg("e", 1)); warm {
 		t.Fatal("seed 1 should have been evicted")
 	}
 }
@@ -127,17 +128,17 @@ func TestArenaNeverEvictsJustInserted(t *testing.T) {
 	// Budget below a single entry's estimate: the entry stays resident
 	// anyway (an arena with nothing warm serves no one).
 	a := NewArena(ArenaOptions{BudgetBytes: 1024, Runner: stubRunner(&calls)})
-	if _, _, err := a.Get(arenaCfg("big", 1)); err != nil {
+	if _, _, err := a.Get(context.Background(), arenaCfg("big", 1)); err != nil {
 		t.Fatal(err)
 	}
 	if st := a.Stats(); st.Entries != 1 {
 		t.Fatalf("entries = %d, want the over-budget entry resident", st.Entries)
 	}
-	if _, warm, _ := a.Get(arenaCfg("big", 1)); !warm {
+	if _, warm, _ := a.Get(context.Background(), arenaCfg("big", 1)); !warm {
 		t.Fatal("over-budget entry must still serve warm hits")
 	}
 	// A second entry displaces the first: exactly one stays.
-	if _, _, err := a.Get(arenaCfg("big", 2)); err != nil {
+	if _, _, err := a.Get(context.Background(), arenaCfg("big", 2)); err != nil {
 		t.Fatal(err)
 	}
 	if st := a.Stats(); st.Entries != 1 || st.Evictions != 1 {
@@ -148,19 +149,19 @@ func TestArenaNeverEvictsJustInserted(t *testing.T) {
 func TestArenaBuildErrorNotCached(t *testing.T) {
 	var calls atomic.Int64
 	fail := true
-	runner := func(cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+	runner := func(ctx context.Context, cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
 		if fail {
 			calls.Add(1)
 			return nil, nil, fmt.Errorf("boom")
 		}
-		return stubRunner(&calls)(cfg)
+		return stubRunner(&calls)(ctx, cfg)
 	}
 	a := NewArena(ArenaOptions{Runner: runner})
-	if _, _, err := a.Get(arenaCfg("f", 1)); err == nil {
+	if _, _, err := a.Get(context.Background(), arenaCfg("f", 1)); err == nil {
 		t.Fatal("build error must propagate")
 	}
 	fail = false
-	if _, warm, err := a.Get(arenaCfg("f", 1)); err != nil || warm {
+	if _, warm, err := a.Get(context.Background(), arenaCfg("f", 1)); err != nil || warm {
 		t.Fatalf("retry after failure: warm=%v err=%v, want cold success", warm, err)
 	}
 	if a.Builds() != 1 {
@@ -169,14 +170,14 @@ func TestArenaBuildErrorNotCached(t *testing.T) {
 }
 
 func TestArenaRealRunBound(t *testing.T) {
-	// The default runner is the real scenario.RunBound: a warm entry's
+	// The default runner is the real scenario.RunBoundCtx: a warm entry's
 	// engine can re-analyze the final topology at query time, and its
 	// memoized resample matches the final measured point exactly.
 	a := NewArena(ArenaOptions{})
 	cfg := arenaCfg("real", 9)
 	cfg.Churn.Add, cfg.Churn.Remove = 1, 1
 	cfg.ChurnPhase = 12 * time.Minute
-	e, _, err := a.Get(cfg)
+	e, _, err := a.Get(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

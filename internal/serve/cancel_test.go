@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kadre/internal/scenario"
+)
+
+// undecidableSpec never decides (unreachable threshold, fresh seed), so
+// it replicates to max_reps — plenty of stream to cancel into.
+const undecidableSpec = `{
+  "scenario": {
+    "scale": "tiny", "size": 20, "k": 5, "staleness": 1,
+    "churn": "1/1", "churn_minutes": 12,
+    "setup_minutes": 6, "stabilize_minutes": 12, "snapshot_minutes": 6,
+    "sample_fraction": 0.1, "seed": 11
+  },
+  "metric": "churn_min_mean",
+  "threshold": 1000,
+  "min_reps": 6, "max_reps": 8
+}`
+
+// waitSchedDrained polls until the admission queue shows no running
+// query and no held slot — the "cancellation released its slot" check.
+func waitSchedDrained(t *testing.T, s *Server) SchedStats {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Sched().Stats()
+		if st.Running == 0 && st.Queued == 0 && st.InUse == 0 {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission queue never drained: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestQueryClientDisconnectReleasesSlotAndKeepsArenaWarm(t *testing.T) {
+	srv := NewServer(Options{Jobs: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Stream the undecidable query and walk away after the first rep
+	// record: the request context fires, the kernel stops mid-run, and
+	// the partially-run rep is discarded.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/query", strings.NewReader(undecidableSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first record: %v", sc.Err())
+	}
+	var first map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first record %q: %v", sc.Text(), err)
+	}
+	if first["type"] != "rep" || first["rep"] != float64(0) {
+		t.Fatalf("first record = %v", first)
+	}
+	cancel()
+	resp.Body.Close()
+
+	st := waitSchedDrained(t, srv)
+	if st.Canceled != 1 {
+		t.Fatalf("canceled counter = %d, want 1", st.Canceled)
+	}
+
+	// The completed rep parked its entry before the disconnect: an
+	// identical query must answer its first rep from the warm arena.
+	resp2, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(undecidableSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc2 := bufio.NewScanner(resp2.Body)
+	if !sc2.Scan() {
+		t.Fatalf("no record on warm follow-up: %v", sc2.Err())
+	}
+	var wfirst map[string]any
+	if err := json.Unmarshal(sc2.Bytes(), &wfirst); err != nil {
+		t.Fatal(err)
+	}
+	if wfirst["cached"] != true {
+		t.Fatalf("follow-up rep 0 not served warm: %v", wfirst)
+	}
+	last := wfirst
+	for sc2.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc2.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		last = m
+	}
+	if last["type"] != "result" {
+		t.Fatalf("follow-up did not complete: %v", last)
+	}
+	if hits, _ := last["arena_hits"].(float64); hits < 1 {
+		t.Fatalf("follow-up arena_hits = %v, want >= 1", last["arena_hits"])
+	}
+	if st := waitSchedDrained(t, srv); st.Canceled != 1 {
+		t.Fatalf("completed follow-up flagged canceled: %+v", st)
+	}
+}
+
+func TestQueryDeadline504(t *testing.T) {
+	srv := NewServer(Options{Jobs: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// stream:false keeps the status line ours until the end, so the
+	// 1 ms deadline — which fires mid-first-rep, long before a record —
+	// must surface as a real 504, not an error record under a 200.
+	spec := strings.Replace(undecidableSpec, `"min_reps": 6`, `"deadline_ms": 1, "stream": false, "min_reps": 6`, 1)
+	resp, body := postQuery(t, ts, spec, "")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	recs := records(t, body)
+	if recs[0]["type"] != "error" || !strings.Contains(recs[0]["error"].(string), "deadline") {
+		t.Fatalf("error record = %v", recs[0])
+	}
+	if st := waitSchedDrained(t, srv); st.Canceled != 1 {
+		t.Fatalf("deadline not counted canceled: %+v", st)
+	}
+}
+
+func TestQueryDefaultDeadline(t *testing.T) {
+	srv := NewServer(Options{Jobs: 2, DefaultDeadline: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	spec := strings.Replace(undecidableSpec, `"min_reps": 6`, `"stream": false, "min_reps": 6`, 1)
+	resp, body := postQuery(t, ts, spec, "")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 from the server default deadline: %s", resp.StatusCode, body)
+	}
+}
+
+func TestQueryRunFailure500(t *testing.T) {
+	// A genuine (non-cancellation) failure before any streamed record
+	// answers 500 — previously an error record under an implicit 200.
+	a := NewArena(ArenaOptions{Runner: failRunner("engine exploded")})
+	srv := NewServer(Options{Arena: a, Jobs: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := postQuery(t, ts, undecidableSpec, "")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", resp.StatusCode, body)
+	}
+	recs := records(t, body)
+	if recs[0]["type"] != "error" || !strings.Contains(recs[0]["error"].(string), "engine exploded") {
+		t.Fatalf("error record = %v", recs[0])
+	}
+	if st := waitSchedDrained(t, srv); st.Canceled != 0 {
+		t.Fatalf("genuine failure counted as canceled: %+v", st)
+	}
+}
+
+// TestQueryConcurrencyLimitBounds pins the admission queue to its job:
+// with -max-concurrent-sims 1, a query's four parallel workers execute
+// their simulations strictly one at a time.
+func TestQueryConcurrencyLimitBounds(t *testing.T) {
+	var cur, max, calls atomic.Int64
+	gauge := stubRunner(&calls)
+	a := NewArena(ArenaOptions{Runner: func(ctx context.Context, cfg scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		defer cur.Add(-1)
+		return gauge(ctx, cfg)
+	}})
+	srv := NewServer(Options{Arena: a, Jobs: 4, MaxConcurrentSims: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := `{
+	  "scenario": {"scale": "tiny", "size": 20, "k": 5, "staleness": 1,
+	    "setup_minutes": 6, "stabilize_minutes": 12, "snapshot_minutes": 6,
+	    "sample_fraction": 0.1, "seed": 21},
+	  "metric": "final_min", "threshold": 1000,
+	  "min_reps": 4, "max_reps": 4
+	}`
+	resp, body := postQuery(t, ts, spec, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("stub built %d reps, want 4", calls.Load())
+	}
+	if got := max.Load(); got > 1 {
+		t.Fatalf("%d simulations ran concurrently under a limit of 1", got)
+	}
+	if st := srv.Sched().Stats(); st.MaxConcurrentSims != 1 {
+		t.Fatalf("sched stats = %+v", st)
+	}
+}
+
+// TestQueryDeterministicAcrossConcurrencyLimits: the admission queue
+// delays work but never changes bytes — cold bodies are identical under
+// a strangling limit and an unlimited queue.
+func TestQueryDeterministicAcrossConcurrencyLimits(t *testing.T) {
+	run := func(limit int) string {
+		srv := NewServer(Options{Jobs: 4, MaxConcurrentSims: limit})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		_, body := postQuery(t, ts, querySpec, "")
+		return body
+	}
+	if b1, bU := run(1), run(-1); b1 != bU {
+		t.Fatalf("cold bodies differ across concurrency limits:\n%s\n%s", b1, bU)
+	}
+}
+
+// TestArenaEndpointReportsSched: the /v1/arena payload carries the
+// admission-queue breakdown.
+func TestArenaEndpointReportsSched(t *testing.T) {
+	srv := NewServer(Options{Jobs: 2, MaxConcurrentSims: 3})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/arena")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ArenaStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sched == nil || st.Sched.MaxConcurrentSims != 3 {
+		t.Fatalf("arena stats sched = %+v", st.Sched)
+	}
+}
+
+// failRunner builds nothing, ever.
+func failRunner(msg string) func(context.Context, scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+	return func(context.Context, scenario.Config) (*scenario.Result, *scenario.Bound, error) {
+		return nil, nil, fmt.Errorf("%s", msg)
+	}
+}

@@ -64,6 +64,11 @@ type QuerySpec struct {
 	Precision *float64 `json:"precision,omitempty"`
 	MinReps   int      `json:"min_reps,omitempty"` // default 3
 	MaxReps   int      `json:"max_reps,omitempty"` // default 8, cap 256
+	// DeadlineMS bounds the query's wall-clock budget in milliseconds; 0
+	// takes the server's default deadline. A query past its deadline stops
+	// within one event batch and answers 504 (or an error record when the
+	// stream already started).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Stream false suppresses per-rep records; the response is the final
 	// record alone. Default true.
 	Stream *bool `json:"stream,omitempty"`
@@ -85,22 +90,28 @@ func MetricNames() []string {
 	return []string{MetricChurnMinMean, MetricFinalMin, MetricFinalAvg, MetricFinalSCC, MetricFinalN}
 }
 
-// metricFromResult extracts a plain (non-resampled) metric.
-func metricFromResult(name string, r *scenario.Result) float64 {
+// metricFromResult extracts a plain (non-resampled) metric. Resolve
+// validated the metric name and rejected configurations that snapshot
+// past the run's end, but a defensive error beats a panic taking the
+// whole server down if either invariant ever slips.
+func metricFromResult(name string, r *scenario.Result) (float64, error) {
+	if len(r.Points) == 0 {
+		return 0, fmt.Errorf("serve: run %q captured no snapshot points", r.Config.Name)
+	}
 	last := r.Points[len(r.Points)-1]
 	switch name {
 	case MetricChurnMinMean:
-		return r.ChurnWindowSummary().Mean
+		return r.ChurnWindowSummary().Mean, nil
 	case MetricFinalMin:
-		return float64(last.Min)
+		return float64(last.Min), nil
 	case MetricFinalAvg:
-		return last.Avg
+		return last.Avg, nil
 	case MetricFinalSCC:
-		return last.SCC
+		return last.SCC, nil
 	case MetricFinalN:
-		return float64(last.N)
+		return float64(last.N), nil
 	}
-	panic("serve: unknown metric " + name) // Resolve validated it
+	return 0, fmt.Errorf("serve: unknown metric %q", name)
 }
 
 // Query is a resolved, runnable QuerySpec.
@@ -111,6 +122,7 @@ type Query struct {
 	Resample *ResampleSpec
 	MinReps  int
 	MaxReps  int
+	Deadline time.Duration // 0: the server's default
 	Stream   bool
 }
 
@@ -221,16 +233,45 @@ func (qs QuerySpec) Resolve() (Query, error) {
 		return Query{}, fmt.Errorf("serve: query needs a threshold or a precision")
 	}
 
+	if qs.MinReps < 0 {
+		return Query{}, fmt.Errorf("serve: min_reps %d is negative", qs.MinReps)
+	}
+	if qs.MaxReps < 0 {
+		return Query{}, fmt.Errorf("serve: max_reps %d is negative", qs.MaxReps)
+	}
 	if qs.MaxReps > maxRepsCap {
 		return Query{}, fmt.Errorf("serve: max_reps %d exceeds the cap %d", qs.MaxReps, maxRepsCap)
 	}
-	if qs.MinReps > 0 && qs.MaxReps > 0 && qs.MaxReps < qs.MinReps {
-		return Query{}, fmt.Errorf("serve: max_reps %d < min_reps %d", qs.MaxReps, qs.MinReps)
+	// Check the rep bounds RunAdaptive will actually use (min_reps 0
+	// defaults to 3, max_reps 0 to 8), so an inconsistent pair is a spec
+	// error here and never a late failure after admission.
+	effMin, effMax := qs.MinReps, qs.MaxReps
+	if effMin <= 0 {
+		effMin = 3
+	}
+	if effMin < 2 {
+		effMin = 2
+	}
+	if effMax <= 0 {
+		effMax = 8
+	}
+	if effMax < effMin {
+		return Query{}, fmt.Errorf("serve: max_reps %d < effective min_reps %d", effMax, effMin)
+	}
+	if qs.DeadlineMS < 0 {
+		return Query{}, fmt.Errorf("serve: deadline_ms %d is negative", qs.DeadlineMS)
 	}
 
 	cfg.Name = queryName(cfg)
-	if err := cfg.WithDefaults().Validate(); err != nil {
+	eff := cfg.WithDefaults()
+	if err := eff.Validate(); err != nil {
 		return Query{}, err
+	}
+	// A snapshot interval past the run's end would capture zero points and
+	// leave nothing to extract a metric from.
+	if eff.SnapshotInterval > eff.Total() {
+		return Query{}, fmt.Errorf("serve: snapshot interval %s exceeds the run length %s",
+			eff.SnapshotInterval, eff.Total())
 	}
 	stream := true
 	if qs.Stream != nil {
@@ -238,7 +279,9 @@ func (qs QuerySpec) Resolve() (Query, error) {
 	}
 	return Query{
 		Config: cfg, Rule: rule, Metric: metric, Resample: qs.Resample,
-		MinReps: qs.MinReps, MaxReps: qs.MaxReps, Stream: stream,
+		MinReps: qs.MinReps, MaxReps: qs.MaxReps,
+		Deadline: time.Duration(qs.DeadlineMS) * time.Millisecond,
+		Stream:   stream,
 	}, nil
 }
 

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kadre/internal/scenario"
+)
+
+// tinySpec builds a minimal valid spec around the final_min metric (no
+// churn window needed) for mutation by the validation tests.
+func tinySpec() QuerySpec {
+	thr := 1000.0
+	return QuerySpec{
+		Scenario: ScenarioSpec{Scale: "tiny", Size: 20, K: 5, Staleness: 1,
+			SetupMinutes: 6, StabilizeMinutes: 12, SnapshotMinutes: 6,
+			SampleFraction: 0.1, Seed: 5},
+		Metric:    MetricFinalMin,
+		Threshold: &thr,
+	}
+}
+
+func TestResolveRejectsNegativeReps(t *testing.T) {
+	qs := tinySpec()
+	qs.MinReps = -1
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "min_reps") {
+		t.Fatalf("negative min_reps: err = %v, want min_reps error", err)
+	}
+	qs = tinySpec()
+	qs.MaxReps = -3
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "max_reps") {
+		t.Fatalf("negative max_reps: err = %v, want max_reps error", err)
+	}
+}
+
+func TestResolveRejectsMaxBelowEffectiveMin(t *testing.T) {
+	// max_reps 2 with min_reps unset: RunAdaptive would default min to 3
+	// and fail after admission; Resolve must catch it as a spec error.
+	qs := tinySpec()
+	qs.MaxReps = 2
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "effective min_reps") {
+		t.Fatalf("max_reps 2 vs default min: err = %v", err)
+	}
+	// An explicit consistent pair at the same value is fine.
+	qs.MinReps = 2
+	if _, err := qs.Resolve(); err != nil {
+		t.Fatalf("min_reps 2 / max_reps 2: %v", err)
+	}
+}
+
+func TestResolveRejectsNegativeDeadline(t *testing.T) {
+	qs := tinySpec()
+	qs.DeadlineMS = -5
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "deadline_ms") {
+		t.Fatalf("negative deadline_ms: err = %v", err)
+	}
+}
+
+func TestResolveDeadline(t *testing.T) {
+	qs := tinySpec()
+	qs.DeadlineMS = 1500
+	q, err := qs.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Deadline != 1500*time.Millisecond {
+		t.Fatalf("Deadline = %v, want 1.5s", q.Deadline)
+	}
+	qs.DeadlineMS = 0
+	if q, err = qs.Resolve(); err != nil || q.Deadline != 0 {
+		t.Fatalf("zero deadline_ms: deadline=%v err=%v", q.Deadline, err)
+	}
+}
+
+func TestResolveRejectsSnapshotPastRunEnd(t *testing.T) {
+	// 6 + 12 simulated minutes of run, snapshots every 30: zero points,
+	// nothing to extract a metric from — a spec error, not a panic later.
+	qs := tinySpec()
+	qs.Scenario.SnapshotMinutes = 30
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "snapshot interval") {
+		t.Fatalf("snapshot past run end: err = %v", err)
+	}
+}
+
+func TestMetricFromResultDefensive(t *testing.T) {
+	empty := &scenario.Result{Config: scenario.Config{Name: "hollow"}}
+	if _, err := metricFromResult(MetricFinalMin, empty); err == nil {
+		t.Fatal("empty Points must error, not panic")
+	}
+	if _, err := metricFromResult("bogus", &scenario.Result{
+		Points: []scenario.SnapshotStat{{N: 5}},
+	}); err == nil {
+		t.Fatal("unknown metric must error, not panic")
+	}
+	v, err := metricFromResult(MetricFinalN, &scenario.Result{
+		Points: []scenario.SnapshotStat{{N: 5}},
+	})
+	if err != nil || v != 5 {
+		t.Fatalf("final_n = %v, %v", v, err)
+	}
+}

@@ -1,9 +1,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
+	"runtime"
 	"sync"
+	"time"
 
 	"kadre/internal/connectivity"
 	"kadre/internal/scenario"
@@ -12,12 +16,15 @@ import (
 
 // Server is the HTTP face of the resilience-query service. Handlers are
 // safe for concurrent use: simulation state lives in the shared arena,
-// per-query state on the handler's stack.
+// per-query state on the handler's stack, and every replication passes
+// through the shared admission queue before it may simulate.
 type Server struct {
-	arena *Arena
-	jobs  int
-	gov   connectivity.GovernancePolicy
-	mux   *http.ServeMux
+	arena    *Arena
+	jobs     int
+	gov      connectivity.GovernancePolicy
+	sched    *Sched
+	deadline time.Duration
+	mux      *http.ServeMux
 }
 
 // Options configures NewServer.
@@ -30,14 +37,33 @@ type Options struct {
 	// Governance is the memory policy installed on every query's runs
 	// (the zero policy takes the scenario defaults).
 	Governance connectivity.GovernancePolicy
+	// MaxConcurrentSims bounds concurrently executing replications across
+	// every query the server handles: 0 means GOMAXPROCS, negative means
+	// unlimited. Admission is FIFO, so a limit delays queries under load
+	// but never reorders or starves them — and never changes their bytes.
+	MaxConcurrentSims int
+	// DefaultDeadline bounds the wall clock of queries that carry no
+	// deadline_ms of their own; 0 means no default deadline.
+	DefaultDeadline time.Duration
 }
 
 // NewServer builds the service and its routes.
 func NewServer(opts Options) *Server {
-	s := &Server{arena: opts.Arena, jobs: opts.Jobs, gov: opts.Governance}
+	s := &Server{
+		arena: opts.Arena, jobs: opts.Jobs, gov: opts.Governance,
+		deadline: opts.DefaultDeadline,
+	}
 	if s.arena == nil {
 		s.arena = NewArena(ArenaOptions{})
 	}
+	limit := opts.MaxConcurrentSims
+	if limit == 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit < 0 {
+		limit = 0 // NewSched's unlimited mode
+	}
+	s.sched = NewSched(limit)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/arena", s.handleArena)
@@ -49,6 +75,10 @@ func NewServer(opts Options) *Server {
 // loop and with tests).
 func (s *Server) Arena() *Arena { return s.arena }
 
+// Sched returns the server's admission queue (tests poll its stats to
+// observe slot release after cancellation).
+func (s *Server) Sched() *Sched { return s.sched }
+
 // Handler returns the route multiplexer.
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -57,13 +87,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleArena(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.arena.Stats())
+	st := s.arena.Stats()
+	ss := s.sched.Stats()
+	st.Sched = &ss
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleQuery runs one adaptively replicated resilience query, streaming
 // a record per consumed replication and a final verdict record. All
 // simulation and analysis state flows through the arena, so repeating a
 // query against warm state answers from memory without a single bind.
+//
+// The query runs under the request context bounded by its deadline
+// (spec's deadline_ms, else the server default): a client disconnect or
+// an expired deadline propagates through the sweep and the scenario
+// runner into the event kernel, which stops within one event batch.
+// Failures before the first streamed record answer with a real status —
+// 504 for a deadline, 500 otherwise; after the stream started, the
+// status is spoken for and the failure goes out as an error record.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var spec QuerySpec
 	dec := json.NewDecoder(r.Body)
@@ -80,12 +121,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	cfg := q.Config
 	cfg.Governance = s.gov
 
+	ctx := r.Context()
+	deadline := q.Deadline
+	if deadline == 0 {
+		deadline = s.deadline
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	// One admission ticket per query; every replication acquires a slot
+	// for the duration of its simulation (warm hits included — they are
+	// cheap, so the slot turns over immediately). The explicit canceled
+	// flag, not ctx.Err() at defer time, feeds the breakdown: a deadline
+	// firing just after the final record must not count as a cancellation.
+	tick := s.sched.Begin()
+	canceled := false
+	defer func() { tick.Done(canceled) }()
+
 	// Per-query metric values, keyed by the shared Result pointer each
 	// rep's arena entry returned: the runner computes the value (it holds
 	// the entry, which resampled metrics need), Extract just looks it up.
 	var values sync.Map
-	runner := func(c scenario.Config) (*scenario.Result, bool, error) {
-		e, warm, err := s.arena.Get(c)
+	runner := func(ctx context.Context, c scenario.Config) (*scenario.Result, bool, error) {
+		if err := tick.Acquire(ctx); err != nil {
+			return nil, false, err
+		}
+		defer tick.Release()
+		e, warm, err := s.arena.Get(ctx, c)
 		if err != nil {
 			return nil, false, err
 		}
@@ -99,7 +164,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	out := newStreamWriter(w, r)
 	hits, misses := 0, 0
-	ar, err := sweep.RunAdaptive(cfg, sweep.AdaptiveOptions{
+	ar, err := sweep.RunAdaptive(ctx, cfg, sweep.AdaptiveOptions{
 		Rule:    q.Rule,
 		Extract: func(res *scenario.Result) float64 { v, _ := values.Load(res); return v.(float64) },
 		MinReps: q.MinReps, MaxReps: q.MaxReps, Jobs: s.jobs,
@@ -123,7 +188,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		},
 	})
 	if err != nil {
-		out.write("error", errorRecord{Type: "error", Error: err.Error()})
+		canceled = isCancellation(err)
+		if out.Started() {
+			out.write("error", errorRecord{Type: "error", Error: err.Error()})
+			return
+		}
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeJSON(w, http.StatusGatewayTimeout, errorRecord{Type: "error", Error: err.Error()})
+		case errors.Is(err, context.Canceled):
+			// The client is gone; nobody reads a status line.
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorRecord{Type: "error", Error: err.Error()})
+		}
 		return
 	}
 	final := resultRecord{
@@ -143,7 +220,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // metricValue computes a query's metric against one warm entry.
 func (s *Server) metricValue(q Query, e *Entry) (float64, error) {
 	if q.Resample == nil {
-		return metricFromResult(q.Metric, e.Result()), nil
+		return metricFromResult(q.Metric, e.Result())
 	}
 	sr, err := e.AnalyzeFinal(q.Resample.Fraction, q.Resample.Seed)
 	if err != nil {

@@ -79,6 +79,11 @@ func newStreamWriter(w http.ResponseWriter, r *http.Request) *streamWriter {
 	return sw
 }
 
+// Started reports whether any record (and therefore the 200 status) has
+// gone out. While false, the handler still owns the status line and can
+// answer a failure with a real HTTP error code.
+func (sw *streamWriter) Started() bool { return sw.started }
+
 func (sw *streamWriter) write(event string, v any) {
 	if sw.dead {
 		return

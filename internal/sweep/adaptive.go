@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -27,6 +28,15 @@ import (
 // Workers may speculatively execute reps beyond the stop index inside
 // the final wave; those results (and any errors they raise) are
 // discarded, exactly as if they had never been scheduled.
+//
+// Cancellation composes with that contract: RunAdaptive takes a Context
+// that propagates into every replication (the default runner hands it to
+// scenario.RunCtx, where the event kernel polls it at event-batch
+// boundaries), and the wave loop checks it before scheduling more work.
+// Reps consumed before the cancellation point form a deterministic
+// prefix — their values and progress updates are exactly those of an
+// uncanceled run — and the error returned wraps ctx's cause, so callers
+// distinguish a canceled query from a failed one with errors.Is.
 
 // Verdict is the outcome of an adaptively replicated query.
 type Verdict string
@@ -133,9 +143,11 @@ type AdaptiveOptions struct {
 	// Jobs bounds concurrently executing reps; <= 0 means GOMAXPROCS.
 	Jobs int
 	// Runner executes one replication (its config carries the derived
-	// seed). The bool reports whether the result came from warm state
-	// (surfaced as RepUpdate.Cached). Nil means scenario.Run.
-	Runner func(scenario.Config) (*scenario.Result, bool, error)
+	// seed) under RunAdaptive's context: implementations must abandon the
+	// rep and return ctx's error once the context is done. The bool
+	// reports whether the result came from warm state (surfaced as
+	// RepUpdate.Cached). Nil means scenario.RunCtx.
+	Runner func(context.Context, scenario.Config) (*scenario.Result, bool, error)
 	// Progress, when set, receives one RepUpdate per consumed rep, in
 	// replication order, serially.
 	Progress func(RepUpdate)
@@ -169,10 +181,15 @@ func (ar *AdaptiveResult) RunSet() (*RunSet, error) {
 	return rs, nil
 }
 
-// RunAdaptive replicates cfg until opts.Rule decides or MaxReps is
-// reached. See the package comment on adaptive determinism: the
-// returned result is byte-identical for any Jobs value.
-func RunAdaptive(cfg scenario.Config, opts AdaptiveOptions) (*AdaptiveResult, error) {
+// RunAdaptive replicates cfg until opts.Rule decides, MaxReps is
+// reached, or ctx is done. See the package comment on adaptive
+// determinism and cancellation: the returned result is byte-identical
+// for any Jobs value, and a canceled run returns an error wrapping
+// ctx's cause after a deterministic prefix of progress updates.
+func RunAdaptive(ctx context.Context, cfg scenario.Config, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Extract == nil {
 		return nil, fmt.Errorf("sweep: adaptive run needs an Extract metric")
 	}
@@ -195,8 +212,8 @@ func RunAdaptive(cfg scenario.Config, opts AdaptiveOptions) (*AdaptiveResult, er
 	}
 	runner := opts.Runner
 	if runner == nil {
-		runner = func(c scenario.Config) (*scenario.Result, bool, error) {
-			r, err := scenario.Run(c)
+		runner = func(ctx context.Context, c scenario.Config) (*scenario.Result, bool, error) {
+			r, err := scenario.RunCtx(ctx, c)
 			return r, false, err
 		}
 	}
@@ -209,6 +226,11 @@ func RunAdaptive(cfg scenario.Config, opts AdaptiveOptions) (*AdaptiveResult, er
 	ar := &AdaptiveResult{Config: cfg, Verdict: VerdictUndecided}
 	wave := par.Jobs(opts.Jobs, maxReps)
 	for next := 0; next < maxReps; {
+		// Wave-boundary cancellation check: never schedule another wave of
+		// simulations for a caller that has already gone away.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sweep: adaptive run %q canceled: %w", cfg.Name, err)
+		}
 		batch := wave
 		if batch > maxReps-next {
 			batch = maxReps - next
@@ -221,7 +243,7 @@ func RunAdaptive(cfg scenario.Config, opts AdaptiveOptions) (*AdaptiveResult, er
 			rc := cfg
 			rc.Seed = DeriveSeed(cfg.Seed, rep)
 			start := time.Now()
-			res, cached, err := runner(rc)
+			res, cached, err := runner(ctx, rc)
 			if err != nil {
 				return repOut{}, fmt.Errorf("scenario %q rep %d (seed %d): %w", cfg.Name, rep, rc.Seed, err)
 			}

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"reflect"
@@ -15,8 +17,8 @@ import (
 // simulation: the metric value is a seeded pseudo-random draw around a
 // chosen mean, so stopping-rule behavior can be exercised across many
 // fixtures cheaply. The draw depends only on the config's seed.
-func fakeRunner(mean, spread float64) func(scenario.Config) (*scenario.Result, bool, error) {
-	return func(cfg scenario.Config) (*scenario.Result, bool, error) {
+func fakeRunner(mean, spread float64) func(context.Context, scenario.Config) (*scenario.Result, bool, error) {
+	return func(_ context.Context, cfg scenario.Config) (*scenario.Result, bool, error) {
 		x := uint64(cfg.Seed) * 0x9E3779B97F4A7C15
 		x ^= x >> 29
 		x *= 0xBF58476D1CE4E5B9
@@ -68,7 +70,7 @@ func TestAdaptiveDeterministicAcrossJobs(t *testing.T) {
 	cfg := tinyConfig("adaptive-det", 11)
 	run := func(jobs int) (*AdaptiveResult, string) {
 		var updates []RepUpdate
-		ar, err := RunAdaptive(cfg, AdaptiveOptions{
+		ar, err := RunAdaptive(context.Background(), cfg, AdaptiveOptions{
 			// A threshold far above any tiny network's average keeps the
 			// verdict a quick, decisive fail.
 			Rule:    StopAtThreshold(1000),
@@ -120,7 +122,7 @@ func TestAdaptiveDeterministicAcrossJobs(t *testing.T) {
 // order with monotonically consumed counts.
 func TestAdaptiveStopsEarly(t *testing.T) {
 	var updates []RepUpdate
-	ar, err := RunAdaptive(scenario.Config{Name: "early", Seed: 3, Size: 10}, AdaptiveOptions{
+	ar, err := RunAdaptive(context.Background(), scenario.Config{Name: "early", Seed: 3, Size: 10}, AdaptiveOptions{
 		Rule:    StopAtThreshold(5),
 		Extract: finalAvg,
 		MinReps: 2, MaxReps: 64, Jobs: 4,
@@ -160,7 +162,7 @@ func TestAdaptiveVerdictAgreesWithFull(t *testing.T) {
 			spread := 2.0 // |mean - threshold| >= 3 > spread: well-separated
 			cfg := scenario.Config{Name: "prop", Seed: seed, Size: 10}
 			runner := fakeRunner(mean, spread)
-			early, err := RunAdaptive(cfg, AdaptiveOptions{
+			early, err := RunAdaptive(context.Background(), cfg, AdaptiveOptions{
 				Rule: StopAtThreshold(threshold), Extract: finalAvg,
 				MinReps: 3, MaxReps: maxReps, Jobs: 4, Runner: runner,
 			})
@@ -175,7 +177,7 @@ func TestAdaptiveVerdictAgreesWithFull(t *testing.T) {
 			for rep := 0; rep < maxReps; rep++ {
 				rc := cfg
 				rc.Seed = DeriveSeed(cfg.Seed, rep)
-				r, _, err := runner(rc)
+				r, _, err := runner(context.Background(), rc)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -200,16 +202,97 @@ func TestAdaptiveVerdictAgreesWithFull(t *testing.T) {
 
 func TestAdaptiveOptionValidation(t *testing.T) {
 	cfg := scenario.Config{Name: "v", Seed: 1, Size: 10}
-	if _, err := RunAdaptive(cfg, AdaptiveOptions{Rule: StopAtThreshold(1)}); err == nil {
+	if _, err := RunAdaptive(context.Background(), cfg, AdaptiveOptions{Rule: StopAtThreshold(1)}); err == nil {
 		t.Fatal("missing Extract must error")
 	}
-	if _, err := RunAdaptive(cfg, AdaptiveOptions{Extract: finalAvg}); err == nil {
+	if _, err := RunAdaptive(context.Background(), cfg, AdaptiveOptions{Extract: finalAvg}); err == nil {
 		t.Fatal("empty rule must error")
 	}
-	if _, err := RunAdaptive(cfg, AdaptiveOptions{
+	if _, err := RunAdaptive(context.Background(), cfg, AdaptiveOptions{
 		Rule: StopAtThreshold(1), Extract: finalAvg, MinReps: 6, MaxReps: 4,
 	}); err == nil {
 		t.Fatal("MaxReps < MinReps must error")
+	}
+}
+
+// TestAdaptivePreCanceled pins the wave-boundary check: a context done
+// before the first wave schedules nothing and surfaces the cause.
+func TestAdaptivePreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	_, err := RunAdaptive(ctx, scenario.Config{Name: "pre", Seed: 1, Size: 10}, AdaptiveOptions{
+		Rule: StopAtThreshold(5), Extract: finalAvg, MaxReps: 8,
+		Runner: func(ctx context.Context, c scenario.Config) (*scenario.Result, bool, error) {
+			ran++
+			return fakeRunner(20, 1)(ctx, c)
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d reps ran under a pre-canceled context, want 0", ran)
+	}
+}
+
+// TestAdaptiveCancelMidRun cancels from the progress callback after the
+// first consumed rep: reps already consumed form a deterministic prefix
+// of updates, in-flight reps abort through their runner's context, and
+// the returned error wraps context.Canceled (run with -race: the cancel
+// races real worker goroutines).
+func TestAdaptiveCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var updates []RepUpdate
+	// An undecidable rule (huge spread, threshold at the mean) would
+	// replicate to the cap; cancellation is the only way this run ends.
+	_, err := RunAdaptive(ctx, scenario.Config{Name: "mid", Seed: 5, Size: 10}, AdaptiveOptions{
+		Rule: StopAtThreshold(10), Extract: finalAvg,
+		MinReps: 2, MaxReps: 256, Jobs: 2,
+		Runner: func(ctx context.Context, c scenario.Config) (*scenario.Result, bool, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+			return fakeRunner(10, 20)(ctx, c)
+		},
+		Progress: func(u RepUpdate) {
+			updates = append(updates, u)
+			cancel()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(updates) == 0 {
+		t.Fatal("no updates consumed before cancellation")
+	}
+	for i, u := range updates {
+		if u.Rep != i {
+			t.Fatalf("update %d out of order after cancel: %+v", i, u)
+		}
+	}
+}
+
+// TestAdaptiveRunnerSeesDeadline pins that the context handed to the
+// runner is RunAdaptive's own: a deadline set by the caller is visible
+// inside every replication.
+func TestAdaptiveRunnerSeesDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	sawDeadline := false
+	_, err := RunAdaptive(ctx, scenario.Config{Name: "dl", Seed: 2, Size: 10}, AdaptiveOptions{
+		Rule: StopAtThreshold(5), Extract: finalAvg, MinReps: 2, MaxReps: 3,
+		Runner: func(ctx context.Context, c scenario.Config) (*scenario.Result, bool, error) {
+			_, sawDeadline = ctx.Deadline()
+			return fakeRunner(20, 1)(ctx, c)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawDeadline {
+		t.Fatal("runner context lost the caller's deadline")
 	}
 }
 
