@@ -24,6 +24,9 @@
 // Flags:
 //
 //	-scale s         paper, reduced, tiny (default reduced)
+//	-scenario f      scenario spec file (JSON) whose runs carry attack
+//	                 blocks; replaces -strategies/-budget/-interval, and
+//	                 the spec's "scale" field (when set) pins the scale
 //	-strategies csv  comma-separated strategy list (default all four)
 //	-seed n          base seed (default 1)
 //	-reps r          seed replications per strategy (default 1)
@@ -61,6 +64,7 @@ import (
 	"kadre/internal/report"
 	"kadre/internal/scenario"
 	"kadre/internal/sweep"
+	"kadre/internal/workload"
 )
 
 func main() {
@@ -74,6 +78,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("kadattack", flag.ContinueOnError)
 	var (
 		scaleName  = fs.String("scale", "reduced", "scale: paper, reduced, tiny")
+		scenFile   = fs.String("scenario", "", "scenario spec file (JSON) with attack-enabled runs; replaces -strategies/-budget/-interval")
 		strategies = fs.String("strategies", "random,degree,cutset,eclipse", "comma-separated attack strategies")
 		seed       = fs.Int64("seed", 1, "base seed")
 		reps       = fs.Int("reps", 1, "seed replications per strategy")
@@ -103,28 +108,56 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	strats, err := attack.ParseStrategies(*strategies)
-	if err != nil {
-		return err
-	}
 
-	exp := scale.AttackExperiment(*seed, strats)
-	phase, _ := scale.AttackPhase()
-	for i := range exp.Configs {
-		cfg := &exp.Configs[i]
-		// The governance knobs cover both the measurement pipeline and the
-		// cutset adversary's recon engine (inherited by the defaulting).
-		cfg.Governance = connectivity.PolicyFromKnobs(*deadFrac, *slotSlack)
-		if *interval > 0 {
-			cfg.Attack.Interval = *interval
+	var exp scenario.Experiment
+	if *scenFile != "" {
+		// A scenario spec fully defines the attack runs: the spec's own
+		// attack blocks win over -strategies/-budget/-interval.
+		if *strategies != "random,degree,cutset,eclipse" || *budget > 0 || *interval > 0 {
+			return fmt.Errorf("-scenario is mutually exclusive with -strategies, -budget and -interval (the spec defines the attacks)")
 		}
-		if *budget > 0 {
-			cfg.Attack.Budget = *budget
+		sp, err := workload.Load(*scenFile)
+		if err != nil {
+			return err
 		}
-		if *interval > 0 || *budget > 0 {
-			// Re-spread the effective budget over the strikes that
-			// actually fit the window at the effective interval.
-			cfg.Attack.Kills = scenario.AttackKills(cfg.Attack.Budget, phase, cfg.Attack.Interval)
+		if sp.Scale != "" {
+			if scale, err = scenario.ScaleByName(sp.Scale); err != nil {
+				return fmt.Errorf("scenario %s: %w", *scenFile, err)
+			}
+		}
+		if exp, err = scenario.FromSpec(sp, scale, *seed); err != nil {
+			return fmt.Errorf("scenario %s: %w", *scenFile, err)
+		}
+		for i := range exp.Configs {
+			cfg := &exp.Configs[i]
+			if !cfg.Attack.Enabled() {
+				return fmt.Errorf("scenario %s: run %q has no attack block; kadattack needs attack-enabled runs (use kadsweep for plain scenarios)", *scenFile, cfg.Name)
+			}
+			cfg.Governance = connectivity.PolicyFromKnobs(*deadFrac, *slotSlack)
+		}
+	} else {
+		strats, err := attack.ParseStrategies(*strategies)
+		if err != nil {
+			return err
+		}
+		exp = scale.AttackExperiment(*seed, strats)
+		phase, _ := scale.AttackPhase()
+		for i := range exp.Configs {
+			cfg := &exp.Configs[i]
+			// The governance knobs cover both the measurement pipeline and the
+			// cutset adversary's recon engine (inherited by the defaulting).
+			cfg.Governance = connectivity.PolicyFromKnobs(*deadFrac, *slotSlack)
+			if *interval > 0 {
+				cfg.Attack.Interval = *interval
+			}
+			if *budget > 0 {
+				cfg.Attack.Budget = *budget
+			}
+			if *interval > 0 || *budget > 0 {
+				// Re-spread the effective budget over the strikes that
+				// actually fit the window at the effective interval.
+				cfg.Attack.Kills = scenario.AttackKills(cfg.Attack.Budget, phase, cfg.Attack.Interval)
+			}
 		}
 	}
 

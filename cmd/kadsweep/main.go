@@ -24,7 +24,12 @@
 // Flags:
 //
 //	-exp id       experiment to run (see -list), or 'all'
-//	-scale s      paper, reduced, tiny (default reduced)
+//	-scenario f   scenario spec file (JSON) to run instead of -exp: the
+//	              versioned workload.Spec format composing churn, traffic,
+//	              attack and generative-workload knobs (see README
+//	              "scenario specs"; committed presets live under specs/)
+//	-scale s      paper, reduced, tiny (default reduced); a spec file
+//	              may pin its own scale, which then wins
 //	-seed n       base seed (default 1)
 //	-reps r       seed replications per configuration (default 1)
 //	-jobs j       concurrent runs; 0 means GOMAXPROCS (default 0)
@@ -98,6 +103,7 @@ import (
 	"kadre/internal/scenario"
 	"kadre/internal/stats"
 	"kadre/internal/sweep"
+	"kadre/internal/workload"
 )
 
 func main() {
@@ -128,6 +134,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("kadsweep", flag.ContinueOnError)
 	var (
 		expID     = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		scenFile  = fs.String("scenario", "", "scenario spec file (JSON) to run instead of a compiled-in experiment")
 		scaleName = fs.String("scale", "reduced", "scale: paper, reduced, tiny")
 		seed      = fs.Int64("seed", 1, "base seed")
 		reps      = fs.Int("reps", 1, "seed replications per configuration")
@@ -184,8 +191,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
-	if *expID == "" {
-		return fmt.Errorf("-exp is required (try -list)")
+	if *expID != "" && *scenFile != "" {
+		return fmt.Errorf("-exp and -scenario are mutually exclusive")
+	}
+	if *expID == "" && *scenFile == "" {
+		return fmt.Errorf("-exp or -scenario is required (try -list)")
 	}
 
 	for _, dir := range []string{*csvDir, *jsonDir} {
@@ -194,6 +204,27 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 		}
+	}
+
+	// A scenario spec file is one experiment resolved through the same
+	// scale defaulting as the compiled-in presets: a committed spec of a
+	// preset produces byte-identical artefacts. The spec may pin its own
+	// scale; otherwise -scale applies.
+	if *scenFile != "" {
+		sp, err := workload.Load(*scenFile)
+		if err != nil {
+			return err
+		}
+		if sp.Scale != "" {
+			if opts.scale, err = scenario.ScaleByName(sp.Scale); err != nil {
+				return err
+			}
+		}
+		exp, err := scenario.FromSpec(sp, opts.scale, opts.seed)
+		if err != nil {
+			return err
+		}
+		return sweepExperiments([]scenario.Experiment{exp}, opts)
 	}
 
 	if *expID == "table1" {
@@ -226,21 +257,30 @@ func run(args []string, stdout io.Writer) error {
 // after all runs complete.
 func runExperiments(ids []string, opts options) error {
 	exps := make([]scenario.Experiment, len(ids))
-	groups := make([]sweep.Group, len(ids))
-	totalConfigs := 0
 	for i, eid := range ids {
 		exp, err := opts.scale.ExperimentByID(eid, opts.seed)
 		if err != nil {
 			return err
 		}
+		exps[i] = exp
+	}
+	return sweepExperiments(exps, opts)
+}
+
+// sweepExperiments executes already-resolved experiments — compiled-in
+// presets and spec files share this path, so both get the pooled sweep,
+// rendering, and artefact writing.
+func sweepExperiments(exps []scenario.Experiment, opts options) error {
+	groups := make([]sweep.Group, len(exps))
+	totalConfigs := 0
+	for i := range exps {
 		// The governance knobs apply to every run (adversaries inherit the
 		// policy for their recon engines through the scenario defaulting).
-		for ci := range exp.Configs {
-			exp.Configs[ci].Governance = opts.gov
+		for ci := range exps[i].Configs {
+			exps[i].Configs[ci].Governance = opts.gov
 		}
-		exps[i] = exp
-		groups[i] = sweep.Group{Name: exp.ID, Configs: exp.Configs}
-		totalConfigs += len(exp.Configs)
+		groups[i] = sweep.Group{Name: exps[i].ID, Configs: exps[i].Configs}
+		totalConfigs += len(exps[i].Configs)
 	}
 
 	pooled := len(exps) > 1

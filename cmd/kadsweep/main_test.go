@@ -360,3 +360,106 @@ func TestGovernanceKnobs(t *testing.T) {
 		t.Fatal("disabled governance must drop the memory block")
 	}
 }
+
+// TestScenarioSpecMatchesPreset is the headline acceptance criterion for
+// scenario specs: the committed specs/figure2.json, run through
+// -scenario, must emit byte-identical JSON to the compiled-in figure2
+// preset. Specs are an alternate front door to the same resolver, not a
+// parallel implementation.
+func TestScenarioSpecMatchesPreset(t *testing.T) {
+	sweepJSON := func(file string, args ...string) []byte {
+		dir := t.TempDir()
+		args = append(args, "-scale", "tiny", "-jobs", "2", "-quiet", "-json", dir)
+		if err := run(args, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	preset := sweepJSON("figure2.json", "-exp", "figure2")
+	spec := sweepJSON("figure2.json", "-scenario", filepath.Join("..", "..", "specs", "figure2.json"))
+	if !bytes.Equal(preset, spec) {
+		t.Fatalf("specs/figure2.json diverged from the compiled-in preset:\n--- preset ---\n%.2000s\n--- spec ---\n%.2000s", preset, spec)
+	}
+}
+
+// TestScenarioFlashCrowdExample runs the committed worked example end to
+// end at tiny scale: the generative bundle (arrivals + diurnal +
+// lognormal sessions + zipf popularity + flash crowds) must actually
+// move the membership, visible as workload counters in the JSON.
+func TestScenarioFlashCrowdExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full example run is slow; skipped with -short")
+	}
+	dir := t.TempDir()
+	args := []string{"-scenario", filepath.Join("..", "..", "examples", "flash_crowd.json"),
+		"-scale", "tiny", "-quiet", "-json", dir}
+	if err := run(args, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "flash-crowd.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc sweep.JSONFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 2 {
+		t.Fatalf("example has %d runs, want 2", len(doc.Runs))
+	}
+	for _, r := range doc.Runs {
+		for _, rep := range r.Reps {
+			if rep.WorkloadJoins == 0 {
+				t.Fatalf("run %s seed %d: generative bundle performed no joins", r.Name, rep.Seed)
+			}
+			if rep.TrafficOps == 0 {
+				t.Fatalf("run %s seed %d: no traffic despite traffic: true", r.Name, rep.Seed)
+			}
+		}
+	}
+}
+
+func TestScenarioFlagErrors(t *testing.T) {
+	discard := &bytes.Buffer{}
+	if err := run([]string{"-exp", "figure2", "-scenario", "x.json"}, discard); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-exp with -scenario should fail, got %v", err)
+	}
+	if err := run([]string{"-scenario", filepath.Join(t.TempDir(), "absent.json")}, discard); err == nil {
+		t.Error("missing spec file should fail")
+	}
+}
+
+// TestGoldenTinyFigure2DefaultJobs pins the default-jobs (-jobs 0)
+// variant of the tiny figure2 document — the bytes the CI scenario-spec
+// smoke step diffs its CLI runs against. Identical to the -jobs 2
+// fixture except the informational jobs field. Regenerate together with
+// the other goldens: go test ./cmd/kadsweep -run Golden -update
+func TestGoldenTinyFigure2DefaultJobs(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "figure2", "-scale", "tiny", "-quiet", "-json", dir}
+	if err := run(args, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "figure2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "figure2_tiny_jobs0.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("default-jobs tiny figure2 drifted from golden fixture %s (run with -update to regenerate after intentional changes)", golden)
+	}
+}

@@ -33,18 +33,33 @@ func (r Rate) IsZero() bool { return r.Add == 0 && r.Remove == 0 }
 // String renders the paper's "add/remove" notation.
 func (r Rate) String() string { return fmt.Sprintf("%d/%d", r.Add, r.Remove) }
 
-// ParseRate reads the "add/remove" notation.
+// ParseRate reads the "add/remove" notation. Counts are plain unsigned
+// decimal digits: Atoi's sign forms ("+1/1", "1/-0") are rejected, so a
+// rate round-trips through String unchanged.
 func ParseRate(s string) (Rate, error) {
 	parts := strings.Split(s, "/")
 	if len(parts) != 2 {
 		return Rate{}, fmt.Errorf("churn: rate %q is not add/remove", s)
 	}
-	add, err1 := strconv.Atoi(parts[0])
-	remove, err2 := strconv.Atoi(parts[1])
-	if err1 != nil || err2 != nil || add < 0 || remove < 0 {
+	add, err1 := parseCount(parts[0])
+	remove, err2 := parseCount(parts[1])
+	if err1 != nil || err2 != nil {
 		return Rate{}, fmt.Errorf("churn: rate %q has invalid counts", s)
 	}
 	return Rate{Add: add, Remove: remove}, nil
+}
+
+// parseCount accepts only unsigned digit strings.
+func parseCount(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("churn: empty count")
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("churn: count %q is not an unsigned integer", s)
+		}
+	}
+	return strconv.Atoi(s)
 }
 
 // Population is the churn generator's view of the network.

@@ -47,6 +47,22 @@ func TestParseRate(t *testing.T) {
 		{"a/b", Rate{}, true},
 		{"-1/1", Rate{}, true},
 		{"1/2/3", Rate{}, true},
+		// Signed and otherwise decorated counts: strconv.Atoi accepts
+		// "+1" and "-0", but a churn rate is a plain non-negative count —
+		// only unsigned digits parse.
+		{"+1/1", Rate{}, true},
+		{"1/+1", Rate{}, true},
+		{"1/-0", Rate{}, true},
+		{"-0/1", Rate{}, true},
+		{" 1/1", Rate{}, true},
+		{"1/1 ", Rate{}, true},
+		{"1/ 1", Rate{}, true},
+		{"", Rate{}, true},
+		{"/", Rate{}, true},
+		{"1/", Rate{}, true},
+		{"/1", Rate{}, true},
+		{"0x1/1", Rate{}, true},
+		{"1_0/1", Rate{}, true},
 	}
 	for _, tt := range tests {
 		got, err := ParseRate(tt.in)

@@ -14,6 +14,7 @@ import (
 	"kadre/internal/simnet"
 	"kadre/internal/snapshot"
 	"kadre/internal/traffic"
+	"kadre/internal/workload"
 )
 
 // Run executes one simulation: randomized setup joins, stabilization,
@@ -127,6 +128,30 @@ func RunBoundCtx(ctx context.Context, cfg Config) (*Result, *Bound, error) {
 	if !cfg.Churn.IsZero() {
 		if err := churnGen.Start(cfg.ChurnStart(), cfg.Total()); err != nil {
 			return nil, nil, err
+		}
+	}
+
+	// The generative workload layer rides alongside fixed-rate churn:
+	// Poisson arrivals share the churn window, flash crowds and trace
+	// events fire at their own absolute times, and Zipf popularity
+	// reshapes the traffic generator's key selection. Every draw comes
+	// from a splitmix64 stream of the run seed, so the layer never
+	// perturbs the kernel RNG the other generators consume.
+	var gen *workload.Engine
+	if cfg.Gen.Enabled() {
+		gen = workload.NewEngine(sim, cfg.Gen, cfg.Seed, pop)
+		if err := gen.Start(cfg.ChurnStart(), cfg.Total()); err != nil {
+			return nil, nil, err
+		}
+		if cfg.Gen.Popularity != nil {
+			if traff == nil {
+				return nil, nil, fmt.Errorf("scenario: popularity generator without traffic")
+			}
+			pick, err := workload.NewZipfPicker(cfg.Seed, cfg.Gen.Popularity, traff.PoolSize())
+			if err != nil {
+				return nil, nil, err
+			}
+			traff.SetKeyPicker(pick)
 		}
 	}
 
@@ -253,6 +278,13 @@ func RunBoundCtx(ctx context.Context, cfg Config) (*Result, *Bound, error) {
 	}
 	if errs := churnGen.Errs(); len(errs) > 0 {
 		return nil, nil, fmt.Errorf("scenario: churn additions failed: %w", errs[0])
+	}
+	if gen != nil {
+		if errs := gen.Errs(); len(errs) > 0 {
+			return nil, nil, fmt.Errorf("scenario: workload joins failed: %w", errs[0])
+		}
+		res.WorkloadJoins = gen.Joins()
+		res.WorkloadLeaves = gen.Leaves()
 	}
 
 	res.MembershipRebinds = engine.MembershipRebinds()

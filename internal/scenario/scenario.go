@@ -19,6 +19,7 @@ import (
 	"kadre/internal/snapshot"
 	"kadre/internal/stats"
 	"kadre/internal/traffic"
+	"kadre/internal/workload"
 )
 
 // Defaults for the paper's simulation phases (§5.4).
@@ -61,8 +62,19 @@ type Config struct {
 	// Traffic toggles the 10-lookups + 1-dissemination per node per
 	// minute workload.
 	Traffic bool
-	// Workload overrides traffic rates when Traffic is set.
+	// Workload overrides traffic rates when Traffic is set (explicit
+	// zero rates via traffic.Disabled).
 	Workload traffic.Workload
+	// Gen is the generative workload bundle (heavy-tailed sessions,
+	// diurnal arrivals, Zipf popularity, flash crowds, trace replay);
+	// the zero value runs none of it. Typically populated from a
+	// scenario spec file via FromSpec.
+	Gen workload.Generators
+	// SpecDigest fingerprints the scenario spec this config was resolved
+	// from (empty for compiled-in presets). It never affects the run —
+	// the sweep checkpoint layer records it to refuse resuming results
+	// produced by an edited spec.
+	SpecDigest string
 
 	// Phase durations; zero values take the paper defaults (30/90 min).
 	Setup      time.Duration
@@ -153,6 +165,15 @@ func (c Config) Validate() error {
 	if !c.Churn.IsZero() && c.ChurnPhase == 0 {
 		return fmt.Errorf("scenario: churn rate %v with zero churn phase", c.Churn)
 	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Gen.Arrivals != nil && c.ChurnPhase == 0 {
+		return fmt.Errorf("scenario: generative arrivals with zero churn phase")
+	}
+	if err := c.Gen.Validate(c.Total().Minutes(), c.Traffic); err != nil {
+		return err
+	}
 	if c.Attack.Enabled() {
 		if c.ChurnPhase == 0 {
 			return fmt.Errorf("scenario: attack %v with zero churn phase", c.Attack)
@@ -210,6 +231,11 @@ type Result struct {
 	ChurnAdded   int
 	ChurnRemoved int
 	TrafficOps   int
+	// WorkloadJoins and WorkloadLeaves count the generative workload
+	// engine's membership actions (arrivals, flash-crowd joins, session
+	// ends, trace events); zero when no generator is configured.
+	WorkloadJoins  int
+	WorkloadLeaves int
 	// AttackRemoved counts nodes the adversary removed; Victims logs
 	// them in strike order (nil when no attack is configured).
 	AttackRemoved int
@@ -309,10 +335,11 @@ type population struct {
 }
 
 var (
-	_ churn.Population   = (*population)(nil)
-	_ traffic.Population = (*population)(nil)
-	_ attack.Population  = (*population)(nil)
-	_ attack.SlotRecon   = (*population)(nil)
+	_ churn.Population    = (*population)(nil)
+	_ traffic.Population  = (*population)(nil)
+	_ attack.Population   = (*population)(nil)
+	_ attack.SlotRecon    = (*population)(nil)
+	_ workload.Population = (*population)(nil)
 )
 
 // LiveNodes implements traffic.Population.
@@ -368,6 +395,33 @@ func (p *population) RemoveNode(addr simnet.Addr) bool {
 func (p *population) AddNode() error {
 	_, err := p.spawn()
 	return err
+}
+
+// Join implements workload.Population: a generative join returning a
+// session handle the workload engine ends when the node's sampled (or
+// trace-recorded) lifetime expires.
+func (p *population) Join() (workload.Session, error) {
+	node, err := p.spawn()
+	if err != nil {
+		return nil, err
+	}
+	return nodeSession{node}, nil
+}
+
+// LeaveRandom implements workload.Population for unlabeled trace leaves.
+func (p *population) LeaveRandom() bool { return p.RemoveRandomNode() }
+
+// nodeSession adapts one node to workload.Session: ending the session is
+// a silent churn-style departure, a no-op when churn or an adversary got
+// to the node first.
+type nodeSession struct{ node *kademlia.Node }
+
+func (s nodeSession) End() bool {
+	if !s.node.Running() {
+		return false
+	}
+	s.node.Leave()
+	return true
 }
 
 // spawn creates, starts, and (when a bootstrap exists) joins one node.

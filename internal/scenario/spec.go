@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"fmt"
+
+	"kadre/internal/attack"
+	"kadre/internal/churn"
+	"kadre/internal/simnet"
+	"kadre/internal/traffic"
+	"kadre/internal/workload"
+)
+
+// FromSpec resolves a scenario spec file into a runnable experiment,
+// exactly as the compiled-in presets resolve: unset run fields take the
+// scale's values (the spec's own scale pins one; otherwise the caller's
+// applies), seeds are baseSeed plus each run's explicit offset, and the
+// attack defaults mirror the preset adversary (budget half the network,
+// spread over the strikes that fit the window, snapshots on the strike
+// cadence). A committed spec of a preset therefore yields byte-identical
+// configs — and so byte-identical sweep artefacts — to the compiled-in
+// experiment it mirrors. Every resolved config carries the spec's digest
+// so checkpoint resume can refuse results from an edited spec.
+func FromSpec(sp *workload.Spec, scale Scale, baseSeed int64) (Experiment, error) {
+	if sp.Scale != "" {
+		var err error
+		scale, err = ScaleByName(sp.Scale)
+		if err != nil {
+			return Experiment{}, err
+		}
+	}
+	exp := Experiment{ID: sp.ID, Title: sp.Title}
+	digest := sp.Digest()
+	for i := range sp.Runs {
+		run := workload.Merge(sp.Defaults, sp.Runs[i])
+		cfg, err := resolveRun(run, scale, baseSeed)
+		if err != nil {
+			return Experiment{}, fmt.Errorf("scenario: spec %q run %q: %w", sp.ID, run.Name, err)
+		}
+		cfg.SpecDigest = digest
+		if err := cfg.WithDefaults().Validate(); err != nil {
+			return Experiment{}, fmt.Errorf("scenario: spec %q run %q: %w", sp.ID, run.Name, err)
+		}
+		exp.Configs = append(exp.Configs, cfg)
+	}
+	return exp, nil
+}
+
+// resolveRun maps one merged run spec onto a Config the same way the
+// preset constructors do.
+func resolveRun(run workload.RunSpec, scale Scale, baseSeed int64) (Config, error) {
+	seed := baseSeed
+	if run.SeedOffset != nil {
+		seed += *run.SeedOffset
+	}
+	size := scale.Small
+	if run.Size != nil {
+		size = *run.Size
+	}
+	cfg := scale.base(run.Name, seed, size)
+
+	if run.K != nil {
+		cfg.K = *run.K
+	}
+	if run.Alpha != nil {
+		cfg.Alpha = *run.Alpha
+	}
+	if run.Bits != nil {
+		cfg.Bits = *run.Bits
+	}
+	if run.Staleness != nil {
+		cfg.Staleness = *run.Staleness
+	}
+	if run.Loss != nil {
+		loss, err := simnet.ParseLossLevel(*run.Loss)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Loss = loss
+	}
+	if run.Churn != nil {
+		rate, err := churn.ParseRate(*run.Churn)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Churn = rate
+	}
+
+	if run.Traffic != nil {
+		cfg.Traffic = *run.Traffic
+	}
+	// Pointer semantics map onto the workload sentinel: unset leaves the
+	// paper default, explicit 0 disables the rate.
+	if run.LookupsPerMinute != nil {
+		cfg.Workload.LookupsPerMinute = rateOrDisabled(*run.LookupsPerMinute)
+	}
+	if run.StoresPerMinute != nil {
+		cfg.Workload.StoresPerMinute = rateOrDisabled(*run.StoresPerMinute)
+	}
+	if run.KeyPool != nil {
+		cfg.Workload.KeyPoolSize = *run.KeyPool
+	}
+
+	if run.SetupMinutes != nil {
+		cfg.Setup = workload.Minutes(*run.SetupMinutes)
+	}
+	if run.StabilizeMinutes != nil {
+		cfg.Stabilize = workload.Minutes(*run.StabilizeMinutes)
+	}
+	if run.SnapshotMinutes != nil {
+		cfg.SnapshotInterval = workload.Minutes(*run.SnapshotMinutes)
+	}
+	if run.SampleFraction != nil {
+		cfg.SampleFraction = *run.SampleFraction
+	}
+
+	cfg.Gen = run.Generators()
+
+	// The churn window: explicit length, the Sim A-D drain rule, or —
+	// whenever churn, an adversary, or generative arrivals need one — the
+	// scale's long phase.
+	switch {
+	case run.ChurnMinutes != nil:
+		cfg.ChurnPhase = workload.Minutes(*run.ChurnMinutes)
+	case run.DrainChurn != nil && *run.DrainChurn:
+		cfg.ChurnPhase = scale.drainChurn(size)
+	case !cfg.Churn.IsZero() || run.Attack != nil || cfg.Gen.Arrivals != nil:
+		cfg.ChurnPhase = scale.ChurnLong
+	}
+
+	if run.Attack != nil {
+		strategy, err := attack.ParseStrategy(run.Attack.Strategy)
+		if err != nil {
+			return Config{}, err
+		}
+		_, interval := scale.AttackPhase()
+		if run.Attack.IntervalMinutes > 0 {
+			interval = workload.Minutes(run.Attack.IntervalMinutes)
+		}
+		budget := AttackBudget(size)
+		if run.Attack.Budget != nil {
+			budget = *run.Attack.Budget
+		}
+		kills := AttackKills(budget, cfg.ChurnPhase, interval)
+		if run.Attack.Kills != nil {
+			kills = *run.Attack.Kills
+		}
+		cfg.Attack = attack.Config{
+			Strategy: strategy, Budget: budget, Kills: kills, Interval: interval,
+		}
+		// The preset adversary measures between strikes: unless the spec
+		// pins a cadence, snapshots land on the strike interval.
+		if run.SnapshotMinutes == nil {
+			cfg.SnapshotInterval = interval
+		}
+	}
+
+	return cfg, nil
+}
+
+// rateOrDisabled maps a spec's explicit rate onto the traffic sentinel
+// convention (explicit 0 means off, not "take the default").
+func rateOrDisabled(rate int) int {
+	if rate == 0 {
+		return traffic.Disabled
+	}
+	return rate
+}

@@ -16,13 +16,16 @@ import (
 )
 
 // undecidableSpec never decides (unreachable threshold, fresh seed), so
-// it replicates to max_reps — plenty of stream to cancel into.
+// it replicates to max_reps — plenty of stream to cancel into. The
+// scenario is sized so one rep takes a few hundred milliseconds: a
+// client disconnect after the first rep record must land while the
+// server is still mid-run, on fast machines too.
 const undecidableSpec = `{
   "scenario": {
-    "scale": "tiny", "size": 20, "k": 5, "staleness": 1,
-    "churn": "1/1", "churn_minutes": 12,
+    "scale": "tiny", "size": 64, "k": 5, "staleness": 1,
+    "churn": "2/2", "churn_minutes": 48,
     "setup_minutes": 6, "stabilize_minutes": 12, "snapshot_minutes": 6,
-    "sample_fraction": 0.1, "seed": 11
+    "sample_fraction": 0.5, "seed": 11
   },
   "metric": "churn_min_mean",
   "threshold": 1000,

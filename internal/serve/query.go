@@ -10,6 +10,7 @@ import (
 	"kadre/internal/scenario"
 	"kadre/internal/simnet"
 	"kadre/internal/sweep"
+	"kadre/internal/workload"
 )
 
 // ScenarioSpec is the wire form of a simulation configuration. Omitted
@@ -52,8 +53,17 @@ type ResampleSpec struct {
 // QuerySpec is the body of POST /v1/query: a scenario, a target metric,
 // and a stopping rule — exactly one of threshold or precision.
 type QuerySpec struct {
-	Scenario ScenarioSpec  `json:"scenario"`
-	Attack   *AttackSpec   `json:"attack,omitempty"`
+	Scenario ScenarioSpec `json:"scenario"`
+	// Spec embeds a full scenario spec document — the same format the
+	// batch CLIs load via -scenario — which must resolve to exactly one
+	// run. It is mutually exclusive with the scenario block except for
+	// scenario.scale (the fallback scale when the spec pins none) and
+	// scenario.seed (the base seed the run's seed_offset adds to), and
+	// with the attack block (put the attack in the spec). Traces must
+	// inline their events: server-side file paths are not addressable
+	// from the wire.
+	Spec   *workload.Spec `json:"spec,omitempty"`
+	Attack *AttackSpec    `json:"attack,omitempty"`
 	Metric   string        `json:"metric,omitempty"` // default churn_min_mean
 	Resample *ResampleSpec `json:"resample,omitempty"`
 	// Threshold asks "does metric stay >= threshold?": replication stops
@@ -141,9 +151,58 @@ func minutes(m float64, def time.Duration) time.Duration {
 // The config's name is derived from its arena key, so identical specs —
 // however spelled — resolve to the same run identity.
 func (qs QuerySpec) Resolve() (Query, error) {
-	sc, err := scenario.ScaleByName(qs.Scenario.Scale)
+	var cfg scenario.Config
+	var err error
+	if qs.Spec != nil {
+		cfg, err = qs.resolveEmbeddedSpec()
+	} else {
+		cfg, err = qs.resolveScenario()
+	}
 	if err != nil {
 		return Query{}, err
+	}
+	return qs.finish(cfg)
+}
+
+// resolveEmbeddedSpec binds an embedded scenario spec document to the
+// single config it must resolve to.
+func (qs QuerySpec) resolveEmbeddedSpec() (scenario.Config, error) {
+	if qs.Attack != nil {
+		return scenario.Config{}, fmt.Errorf("serve: spec and attack are mutually exclusive (put the attack block inside the spec run)")
+	}
+	if qs.Scenario != (ScenarioSpec{Scale: qs.Scenario.Scale, Seed: qs.Scenario.Seed}) {
+		return scenario.Config{}, fmt.Errorf("serve: spec and scenario are mutually exclusive (only scenario.scale and scenario.seed may accompany a spec)")
+	}
+	if err := qs.Spec.Check(); err != nil {
+		return scenario.Config{}, err
+	}
+	// The document arrived over the wire: a client's trace file path means
+	// nothing on the server's filesystem, and must not name a file there.
+	for _, t := range qs.Spec.Traces() {
+		if t.Path != "" && len(t.Events) == 0 {
+			return scenario.Config{}, fmt.Errorf("serve: trace path %q is not addressable over the wire; inline the events", t.Path)
+		}
+	}
+	sc, err := scenario.ScaleByName(qs.Scenario.Scale)
+	if err != nil {
+		return scenario.Config{}, err
+	}
+	exp, err := scenario.FromSpec(qs.Spec, sc, qs.Scenario.Seed)
+	if err != nil {
+		return scenario.Config{}, err
+	}
+	if len(exp.Configs) != 1 {
+		return scenario.Config{}, fmt.Errorf("serve: spec %q resolves to %d runs; a query needs exactly one", qs.Spec.ID, len(exp.Configs))
+	}
+	return exp.Configs[0], nil
+}
+
+// resolveScenario binds the flat scenario block (the pre-spec wire form)
+// to a config.
+func (qs QuerySpec) resolveScenario() (scenario.Config, error) {
+	sc, err := scenario.ScaleByName(qs.Scenario.Scale)
+	if err != nil {
+		return scenario.Config{}, err
 	}
 	size := qs.Scenario.Size
 	if size == 0 {
@@ -167,18 +226,18 @@ func (qs QuerySpec) Resolve() (Query, error) {
 	}
 	if qs.Scenario.Loss != "" {
 		if cfg.Loss, err = simnet.ParseLossLevel(qs.Scenario.Loss); err != nil {
-			return Query{}, err
+			return scenario.Config{}, err
 		}
 	}
 	if qs.Scenario.Churn != "" {
 		if cfg.Churn, err = churn.ParseRate(qs.Scenario.Churn); err != nil {
-			return Query{}, err
+			return scenario.Config{}, err
 		}
 	}
 	if qs.Attack != nil {
 		st, err := attack.ParseStrategy(qs.Attack.Strategy)
 		if err != nil {
-			return Query{}, err
+			return scenario.Config{}, err
 		}
 		_, defInterval := sc.AttackPhase()
 		cfg.Attack = attack.Config{
@@ -196,7 +255,12 @@ func (qs QuerySpec) Resolve() (Query, error) {
 	if !cfg.Churn.IsZero() || cfg.Attack.Enabled() {
 		cfg.ChurnPhase = minutes(qs.Scenario.ChurnMinutes, sc.ChurnLong)
 	}
+	return cfg, nil
+}
 
+// finish applies the scenario-independent part of Resolve: the metric,
+// the stopping rule, the replication bounds, and the run identity.
+func (qs QuerySpec) finish(cfg scenario.Config) (Query, error) {
 	metric := qs.Metric
 	if metric == "" {
 		metric = MetricChurnMinMean

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kadre/internal/scenario"
+	"kadre/internal/workload"
 )
 
 // tinySpec builds a minimal valid spec around the final_min metric (no
@@ -80,6 +81,95 @@ func TestResolveRejectsSnapshotPastRunEnd(t *testing.T) {
 	qs.Scenario.SnapshotMinutes = 30
 	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "snapshot interval") {
 		t.Fatalf("snapshot past run end: err = %v", err)
+	}
+}
+
+// tinyEmbeddedSpec is the scenario-spec-document spelling of tinySpec's
+// flat scenario block.
+func tinyEmbeddedSpec() *workload.Spec {
+	iv := func(v int) *int { return &v }
+	fv := func(v float64) *float64 { return &v }
+	return &workload.Spec{
+		Version: workload.SpecVersion,
+		ID:      "tiny-query",
+		Runs: []workload.RunSpec{{
+			Name: "q", Size: iv(20), K: iv(5), Staleness: iv(1),
+			SetupMinutes: fv(6), StabilizeMinutes: fv(12),
+			SnapshotMinutes: fv(6), SampleFraction: fv(0.1),
+		}},
+	}
+}
+
+func TestResolveEmbeddedSpecMatchesScenario(t *testing.T) {
+	flat := tinySpec()
+	qf, err := flat.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := 1000.0
+	qs := QuerySpec{
+		Scenario:  ScenarioSpec{Scale: "tiny", Seed: 5},
+		Spec:      tinyEmbeddedSpec(),
+		Metric:    MetricFinalMin,
+		Threshold: &thr,
+	}
+	qe, err := qs.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equivalent spellings must resolve to the same run identity (arena
+	// key and derived query name), or the warm cache would fragment.
+	if Key(qe.Config) != Key(qf.Config) {
+		t.Fatalf("arena keys differ:\n spec: %s\n flat: %s", Key(qe.Config), Key(qf.Config))
+	}
+	if qe.Config.Name != qf.Config.Name {
+		t.Fatalf("query names differ: %q vs %q", qe.Config.Name, qf.Config.Name)
+	}
+	if qe.Config.SpecDigest == "" {
+		t.Fatal("embedded spec left no digest on the config")
+	}
+}
+
+func TestResolveEmbeddedSpecRejections(t *testing.T) {
+	thr := 1000.0
+	base := func() QuerySpec {
+		return QuerySpec{
+			Scenario:  ScenarioSpec{Scale: "tiny", Seed: 5},
+			Spec:      tinyEmbeddedSpec(),
+			Metric:    MetricFinalMin,
+			Threshold: &thr,
+		}
+	}
+
+	qs := base()
+	qs.Scenario.Size = 20 // anything beyond scale/seed must be inside the spec
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("scenario.size next to spec: err = %v", err)
+	}
+
+	qs = base()
+	qs.Attack = &AttackSpec{Strategy: "random"}
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("attack next to spec: err = %v", err)
+	}
+
+	qs = base()
+	qs.Spec.Runs = append(qs.Spec.Runs, qs.Spec.Runs[0])
+	qs.Spec.Runs[1].Name = "q2"
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("two-run spec: err = %v", err)
+	}
+
+	qs = base()
+	qs.Spec.ID = ""
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "id") {
+		t.Fatalf("spec without id: err = %v", err)
+	}
+
+	qs = base()
+	qs.Spec.Runs[0].Trace = &workload.TraceSpec{Path: "/etc/passwd"}
+	if _, err := qs.Resolve(); err == nil || !strings.Contains(err.Error(), "not addressable") {
+		t.Fatalf("path-only trace over the wire: err = %v", err)
 	}
 }
 

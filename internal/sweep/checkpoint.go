@@ -50,13 +50,19 @@ type ckptFile struct {
 	Rep         int    `json:"rep"`
 	Seed        int64  `json:"seed"`
 	Fingerprint string `json:"fingerprint"`
-	Bits        int    `json:"bits"`
+	// SpecDigest fingerprints the scenario spec file the run's config was
+	// resolved from (empty for compiled-in presets and older checkpoints).
+	// Resume refuses to mix results across different digests.
+	SpecDigest string `json:"spec_digest,omitempty"`
+	Bits       int    `json:"bits"`
 
-	Points        []ckptPoint `json:"points"`
-	ChurnAdded    int         `json:"churn_added"`
-	ChurnRemoved  int         `json:"churn_removed"`
-	TrafficOps    int         `json:"traffic_ops"`
-	AttackRemoved int         `json:"attack_removed"`
+	Points         []ckptPoint `json:"points"`
+	ChurnAdded     int         `json:"churn_added"`
+	ChurnRemoved   int         `json:"churn_removed"`
+	TrafficOps     int         `json:"traffic_ops"`
+	WorkloadJoins  int         `json:"workload_joins,omitempty"`
+	WorkloadLeaves int         `json:"workload_leaves,omitempty"`
+	AttackRemoved  int         `json:"attack_removed"`
 	// Binding diagnostics, carried so a resumed run round-trips the
 	// original Result exactly (the resume regression test DeepEquals).
 	IncrementalBinds  int `json:"inc_binds,omitempty"`
@@ -105,11 +111,18 @@ func fingerprint(cfg scenario.Config) string {
 	// cutset analyzer's sampling fraction is keyed explicitly: it changes
 	// which cut the adversary finds, hence the victims and every curve.
 	// Workers is deliberately absent — results are worker-independent.
-	return fmt.Sprintf("size=%d|k=%d|a=%d|b=%d|s=%d|loss=%s|churn=%s|traffic=%v|wl=%+v|setup=%d|stab=%d|phase=%d|snap=%d|c=%g|attack=%s|ac=%g|target=%s",
+	fp := fmt.Sprintf("size=%d|k=%d|a=%d|b=%d|s=%d|loss=%s|churn=%s|traffic=%v|wl=%+v|setup=%d|stab=%d|phase=%d|snap=%d|c=%g|attack=%s|ac=%g|target=%s",
 		cfg.Size, cfg.K, cfg.Alpha, cfg.Bits, cfg.Staleness,
 		cfg.Loss, cfg.Churn, cfg.Traffic, cfg.Workload,
 		cfg.Setup, cfg.Stabilize, cfg.ChurnPhase, cfg.SnapshotInterval,
 		cfg.SampleFraction, cfg.Attack, cfg.Attack.SampleFraction, cfg.Attack.Target)
+	// The generative workload bundle joins the fingerprint only when one
+	// is configured, so every pre-existing fingerprint (and the cache keys
+	// derived from it, e.g. kadserve's arena/query names) is unchanged.
+	if canon := cfg.Gen.Canon(); canon != "" {
+		fp += "|gen=" + canon
+	}
+	return fp
 }
 
 // sanitize flattens a run name into a safe file-name fragment.
@@ -135,9 +148,11 @@ func (c *Checkpointer) Store(cfg scenario.Config, rep int, r *scenario.Result) e
 	eff := cfg.WithDefaults()
 	out := ckptFile{
 		Name: cfg.Name, Rep: rep, Seed: eff.Seed, Fingerprint: fingerprint(eff),
+		SpecDigest: eff.SpecDigest,
 		Bits:       r.Config.Bits,
 		ChurnAdded: r.ChurnAdded, ChurnRemoved: r.ChurnRemoved,
 		TrafficOps: r.TrafficOps, AttackRemoved: r.AttackRemoved,
+		WorkloadJoins: r.WorkloadJoins, WorkloadLeaves: r.WorkloadLeaves,
 		IncrementalBinds: r.IncrementalBinds, FullBinds: r.FullBinds,
 		MembershipRebinds: r.MembershipRebinds,
 		SlotCompactions:   r.SlotCompactions, Redensifies: r.Redensifies,
@@ -171,27 +186,45 @@ func (c *Checkpointer) Store(cfg scenario.Config, rep int, r *scenario.Result) e
 	return nil
 }
 
-// Load reconstructs a previously stored run. It reports false — never an
-// error — when no usable checkpoint exists (missing, unreadable, or
-// written under a different configuration); the sweep then simply
-// re-executes the run.
-func (c *Checkpointer) Load(cfg scenario.Config, rep int) (*scenario.Result, bool) {
+// Load reconstructs a previously stored run. It reports (nil, false,
+// nil) when no usable checkpoint exists — missing, unreadable, or keyed
+// to a different run — and the sweep simply re-executes. But a
+// checkpoint that IS this run's (name, rep, seed match) while its
+// configuration fingerprint or scenario-spec digest differs means the
+// experiment definition changed since the checkpoint was written;
+// silently re-running (or worse, replaying) would mix results from two
+// different experiments into one artefact, so Load fails loudly instead
+// and the caller aborts the sweep.
+func (c *Checkpointer) Load(cfg scenario.Config, rep int) (*scenario.Result, bool, error) {
 	data, err := os.ReadFile(c.path(cfg, rep))
 	if err != nil {
-		return nil, false
+		return nil, false, nil
 	}
 	var in ckptFile
 	if err := json.Unmarshal(data, &in); err != nil {
-		return nil, false
+		// A corrupt file (e.g. a torn write from a hard kill predating the
+		// rename protocol) is not a definition change: re-run and rewrite.
+		return nil, false, nil
 	}
 	eff := cfg.WithDefaults()
-	if in.Name != cfg.Name || in.Rep != rep || in.Seed != eff.Seed || in.Fingerprint != fingerprint(eff) {
-		return nil, false
+	if in.Name != cfg.Name || in.Rep != rep || in.Seed != eff.Seed {
+		return nil, false, nil
+	}
+	if in.Fingerprint != fingerprint(eff) {
+		return nil, false, fmt.Errorf(
+			"sweep: checkpoint %s holds run %q rep %d under a different experiment definition (checkpoint %q, current %q): the config or spec changed since the sweep was checkpointed — use a fresh checkpoint directory or delete the stale files",
+			c.path(cfg, rep), cfg.Name, rep, in.Fingerprint, fingerprint(eff))
+	}
+	if in.SpecDigest != "" && eff.SpecDigest != "" && in.SpecDigest != eff.SpecDigest {
+		return nil, false, fmt.Errorf(
+			"sweep: checkpoint %s was written from scenario spec digest %s but the current spec digests to %s: the spec file changed since the sweep was checkpointed — use a fresh checkpoint directory or delete the stale files",
+			c.path(cfg, rep), in.SpecDigest, eff.SpecDigest)
 	}
 	res := &scenario.Result{
 		Config:     eff,
 		ChurnAdded: in.ChurnAdded, ChurnRemoved: in.ChurnRemoved,
 		TrafficOps: in.TrafficOps, AttackRemoved: in.AttackRemoved,
+		WorkloadJoins: in.WorkloadJoins, WorkloadLeaves: in.WorkloadLeaves,
 		IncrementalBinds: in.IncrementalBinds, FullBinds: in.FullBinds,
 		MembershipRebinds: in.MembershipRebinds,
 		SlotCompactions:   in.SlotCompactions, Redensifies: in.Redensifies,
@@ -211,11 +244,11 @@ func (c *Checkpointer) Load(cfg scenario.Config, rep int) (*scenario.Result, boo
 	for _, v := range in.Victims {
 		parsed, err := id.Parse(bits, v.ID)
 		if err != nil {
-			return nil, false
+			return nil, false, nil
 		}
 		res.Victims = append(res.Victims, attack.Victim{
 			Time: time.Duration(v.TNS), Addr: simnet.Addr(v.Addr), ID: parsed,
 		})
 	}
-	return res, true
+	return res, true, nil
 }

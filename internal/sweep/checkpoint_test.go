@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -102,43 +103,95 @@ func TestCheckpointResume(t *testing.T) {
 	}
 }
 
-func TestCheckpointIgnoresStaleConfig(t *testing.T) {
+// TestCheckpointRefusesChangedDefinition pins the resume contract for an
+// edited experiment: a checkpoint keyed to this exact run (name, rep,
+// seed) but written under a different configuration is a definition
+// change, and the sweep must abort loudly instead of silently re-running
+// (and thereby mixing the edited definition's results with the stale
+// files still on disk).
+func TestCheckpointRefusesChangedDefinition(t *testing.T) {
 	ckpt, err := NewCheckpointer(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfgs := ckptConfigs()
-	if _, err := Run(cfgs, Options{Checkpoint: ckpt}); err != nil {
+	if _, err := Run(ckptConfigs(), Options{Checkpoint: ckpt}); err != nil {
 		t.Fatal(err)
 	}
-	countFresh := func(cfgs []scenario.Config) int {
-		fresh := 0
-		if _, err := Run(cfgs, Options{Checkpoint: ckpt, Progress: func(ev Event) {
-			if !ev.Cached {
-				fresh++
-			}
-		}}); err != nil {
-			t.Fatal(err)
-		}
-		return fresh
-	}
 
-	// Changing only the adversary's analyzer sampling must invalidate the
-	// attacked run's checkpoint (it changes the cut, hence the victims) —
-	// and nothing else.
-	cfgs = ckptConfigs()
+	// Changing only the adversary's analyzer sampling changes the attacked
+	// run's definition (it changes the cut, hence the victims).
+	cfgs := ckptConfigs()
 	cfgs[1].Attack.SampleFraction = 1.0
-	if fresh := countFresh(cfgs); fresh != 1 {
-		t.Fatalf("%d fresh runs after attack sampling change, want 1 (the attacked config)", fresh)
+	if _, err := Run(cfgs, Options{Checkpoint: ckpt}); err == nil ||
+		!strings.Contains(err.Error(), "different experiment definition") {
+		t.Fatalf("resume after attack sampling change: got %v, want definition-change error", err)
 	}
 
-	// Same names and seeds, different k: no fingerprint may match.
+	// Same names and seeds, different k: every run's definition changed.
 	cfgs = ckptConfigs()
 	for i := range cfgs {
 		cfgs[i].K = 4
 	}
-	if fresh := countFresh(cfgs); fresh != len(cfgs) {
-		t.Fatalf("%d fresh runs after config change, want %d", fresh, len(cfgs))
+	if _, err := Run(cfgs, Options{Checkpoint: ckpt}); err == nil ||
+		!strings.Contains(err.Error(), "different experiment definition") {
+		t.Fatalf("resume after k change: got %v, want definition-change error", err)
+	}
+
+	// The unmodified definition still resumes entirely from disk.
+	fresh := 0
+	if _, err := Run(ckptConfigs(), Options{Checkpoint: ckpt, Progress: func(ev Event) {
+		if !ev.Cached {
+			fresh++
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 0 {
+		t.Fatalf("unchanged definition re-ran %d runs, want 0", fresh)
+	}
+}
+
+// TestCheckpointRefusesMutatedSpec is the satellite regression: two specs
+// can resolve to behaviorally identical configs (same fingerprint) while
+// being different files — e.g. only descriptive or not-yet-effective
+// fields changed. The digest stored in the checkpoint must still refuse
+// the resume; an empty digest (compiled-in preset, or a pre-digest
+// checkpoint) stays compatible in both directions.
+func TestCheckpointRefusesMutatedSpec(t *testing.T) {
+	ckpt, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDigest := func(d string) []scenario.Config {
+		cfgs := ckptConfigs()[:1]
+		cfgs[0].SpecDigest = d
+		return cfgs
+	}
+	if _, err := Run(withDigest("aaaa1111"), Options{Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Run(withDigest("bbbb2222"), Options{Checkpoint: ckpt}); err == nil ||
+		!strings.Contains(err.Error(), "spec") {
+		t.Fatalf("resume under mutated spec digest: got %v, want spec-change error", err)
+	}
+
+	// Preset-style configs (no digest) replay spec-written checkpoints and
+	// vice versa: the fingerprint already guarantees identical results.
+	cached := 0
+	count := func(ev Event) {
+		if ev.Cached {
+			cached++
+		}
+	}
+	if _, err := Run(withDigest(""), Options{Checkpoint: ckpt, Progress: count}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(withDigest("aaaa1111"), Options{Checkpoint: ckpt, Progress: count}); err != nil {
+		t.Fatal(err)
+	}
+	if cached != 2 {
+		t.Fatalf("digest-compatible resumes replayed %d runs from disk, want 2", cached)
 	}
 }
 

@@ -46,12 +46,16 @@ type JSONRun struct {
 
 // JSONRep is the raw outcome of one seeded replication.
 type JSONRep struct {
-	Seed          int64        `json:"seed"`
-	Points        []JSONPoint  `json:"points"`
-	ChurnAdded    int          `json:"churn_added"`
-	ChurnRemoved  int          `json:"churn_removed"`
-	TrafficOps    int          `json:"traffic_ops"`
-	AttackRemoved int          `json:"attack_removed,omitempty"`
+	Seed         int64       `json:"seed"`
+	Points       []JSONPoint `json:"points"`
+	ChurnAdded   int         `json:"churn_added"`
+	ChurnRemoved int         `json:"churn_removed"`
+	TrafficOps   int         `json:"traffic_ops"`
+	// Generative-workload membership actions; absent for runs without a
+	// workload bundle, so pre-spec documents are byte-identical.
+	WorkloadJoins  int          `json:"workload_joins,omitempty"`
+	WorkloadLeaves int          `json:"workload_leaves,omitempty"`
+	AttackRemoved  int          `json:"attack_removed,omitempty"`
 	Victims       []JSONVictim `json:"victims,omitempty"`
 	MsgSent       uint64       `json:"msg_sent"`
 	MsgLost       uint64       `json:"msg_lost"`
@@ -171,11 +175,13 @@ func BuildJSON(meta JSONMeta, sets []*RunSet) *JSONFile {
 		}
 		for _, r := range rs.Reps {
 			rep := JSONRep{
-				Seed:          r.Config.Seed,
-				ChurnAdded:    r.ChurnAdded,
-				ChurnRemoved:  r.ChurnRemoved,
-				TrafficOps:    r.TrafficOps,
-				AttackRemoved: r.AttackRemoved,
+				Seed:           r.Config.Seed,
+				ChurnAdded:     r.ChurnAdded,
+				ChurnRemoved:   r.ChurnRemoved,
+				TrafficOps:     r.TrafficOps,
+				WorkloadJoins:  r.WorkloadJoins,
+				WorkloadLeaves: r.WorkloadLeaves,
+				AttackRemoved:  r.AttackRemoved,
 				MsgSent:       r.Network.Sent,
 				MsgLost:       r.Network.Lost,
 				Points:        make([]JSONPoint, 0, len(r.Points)),

@@ -174,7 +174,17 @@ func RunGroups(groups []Group, opts Options) ([][]*RunSet, error) {
 	progress := newProgressGate(opts.Progress, len(jobs), opts.Ordered)
 	results, mapErr := par.Map(opts.Jobs, jobs, func(i int, j job) (*scenario.Result, error) {
 		if opts.Checkpoint != nil {
-			if res, ok := opts.Checkpoint.Load(j.cfg, j.rep); ok {
+			res, ok, lerr := opts.Checkpoint.Load(j.cfg, j.rep)
+			if lerr != nil {
+				// A checkpoint for this exact run written under a different
+				// experiment definition: abort rather than silently mixing
+				// results from the edited and original definitions.
+				progress.emit(i, Event{
+					Experiment: j.group, Name: j.cfg.Name, Rep: j.rep, Seed: j.cfg.Seed, Err: lerr,
+				})
+				return nil, fmt.Errorf("scenario %q rep %d (seed %d): %w", j.cfg.Name, j.rep, j.cfg.Seed, lerr)
+			}
+			if ok {
 				progress.emit(i, Event{
 					Experiment: j.group, Name: j.cfg.Name, Rep: j.rep, Seed: j.cfg.Seed, Cached: true,
 				})

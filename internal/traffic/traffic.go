@@ -7,6 +7,7 @@ package traffic
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"kadre/internal/eventsim"
@@ -22,8 +23,13 @@ const (
 	DefaultKeyPoolSize = 256
 )
 
+// Disabled turns one workload rate off explicitly. A zero field means
+// "unset — take the paper default", so 0 alone cannot express a
+// lookups-off or stores-off workload; set the field to Disabled instead.
+const Disabled = -1
+
 // Workload parameterizes the generator. Zero fields take the defaults
-// above.
+// above; Disabled turns a rate off.
 type Workload struct {
 	LookupsPerMinute int
 	StoresPerMinute  int
@@ -31,16 +37,42 @@ type Workload struct {
 }
 
 func (w Workload) withDefaults() Workload {
-	if w.LookupsPerMinute == 0 {
+	switch w.LookupsPerMinute {
+	case 0:
 		w.LookupsPerMinute = DefaultLookupsPerMinute
+	case Disabled:
+		w.LookupsPerMinute = 0
 	}
-	if w.StoresPerMinute == 0 {
+	switch w.StoresPerMinute {
+	case 0:
 		w.StoresPerMinute = DefaultStoresPerMinute
+	case Disabled:
+		w.StoresPerMinute = 0
 	}
 	if w.KeyPoolSize == 0 {
 		w.KeyPoolSize = DefaultKeyPoolSize
 	}
 	return w
+}
+
+// WithDefaults resolves the workload to the effective rates a generator
+// runs: zero fields become the paper defaults, Disabled becomes 0.
+func (w Workload) WithDefaults() Workload { return w.withDefaults() }
+
+// Validate rejects rates that are neither a count, zero-meaning-default,
+// nor the Disabled sentinel. The key pool cannot be disabled — a traffic
+// generator without keys is meaningless (turn both rates off instead).
+func (w Workload) Validate() error {
+	if w.LookupsPerMinute < Disabled {
+		return fmt.Errorf("traffic: lookups/minute %d is negative (use Disabled to turn lookups off)", w.LookupsPerMinute)
+	}
+	if w.StoresPerMinute < Disabled {
+		return fmt.Errorf("traffic: stores/minute %d is negative (use Disabled to turn stores off)", w.StoresPerMinute)
+	}
+	if w.KeyPoolSize < 0 {
+		return fmt.Errorf("traffic: key pool size %d is negative", w.KeyPoolSize)
+	}
+	return nil
 }
 
 // Population yields the nodes that should generate traffic.
@@ -56,6 +88,7 @@ type Generator struct {
 	workload Workload
 	pop      Population
 	keys     []id.ID
+	pickKey  func() int
 	until    time.Duration
 	timer    *eventsim.Timer
 
@@ -69,10 +102,10 @@ func NewGenerator(sim *eventsim.Simulator, bits int, w Workload, pop Population)
 	if err := id.CheckBits(bits); err != nil {
 		return nil, err
 	}
-	w = w.withDefaults()
-	if w.LookupsPerMinute < 0 || w.StoresPerMinute < 0 || w.KeyPoolSize < 1 {
-		return nil, fmt.Errorf("traffic: invalid workload %+v", w)
+	if err := w.Validate(); err != nil {
+		return nil, err
 	}
+	w = w.withDefaults()
 	g := &Generator{sim: sim, workload: w, pop: pop}
 	g.keys = make([]id.ID, w.KeyPoolSize)
 	for i := range g.keys {
@@ -90,6 +123,24 @@ func (g *Generator) Stores() int { return g.stores }
 // Keys exposes the key pool (for examples that want to read data back).
 func (g *Generator) Keys() []id.ID {
 	return append([]id.ID(nil), g.keys...)
+}
+
+// PoolSize reports the effective key-pool size.
+func (g *Generator) PoolSize() int { return len(g.keys) }
+
+// SetKeyPicker replaces uniform key selection: pick returns the pool
+// index for each lookup/store. The generative workload layer plugs a
+// Zipf-popularity picker in here. Pick must be deterministic given its
+// own seeding and is invoked only on the simulator goroutine. Call
+// before the kernel runs.
+func (g *Generator) SetKeyPicker(pick func() int) { g.pickKey = pick }
+
+// key draws one key from the pool, through the picker when set.
+func (g *Generator) key(r *rand.Rand) id.ID {
+	if g.pickKey != nil {
+		return g.keys[g.pickKey()%len(g.keys)]
+	}
+	return g.keys[r.Intn(len(g.keys))]
 }
 
 // Start schedules traffic from `from` until `until`.
@@ -126,7 +177,7 @@ func (g *Generator) minute() {
 	for _, node := range g.pop.LiveNodes() {
 		node := node
 		for i := 0; i < g.workload.LookupsPerMinute; i++ {
-			key := g.keys[r.Intn(len(g.keys))]
+			key := g.key(r)
 			offset := time.Duration(r.Int63n(int64(time.Minute)))
 			g.sim.MustSchedule(offset, func() {
 				if !node.Running() {
@@ -137,7 +188,7 @@ func (g *Generator) minute() {
 			})
 		}
 		for i := 0; i < g.workload.StoresPerMinute; i++ {
-			key := g.keys[r.Intn(len(g.keys))]
+			key := g.key(r)
 			offset := time.Duration(r.Int63n(int64(time.Minute)))
 			g.sim.MustSchedule(offset, func() {
 				if !node.Running() {

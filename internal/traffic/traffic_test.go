@@ -124,6 +124,48 @@ func TestGeneratorCausesStorage(t *testing.T) {
 	}
 }
 
+// TestWorkloadDisabledRates pins the Disabled sentinel: before it, a
+// zero field was indistinguishable from "unset" and withDefaults
+// silently coerced an intentional lookups-off (or stores-off) workload
+// back to the paper rates.
+func TestWorkloadDisabledRates(t *testing.T) {
+	w := Workload{LookupsPerMinute: Disabled, StoresPerMinute: 5}.withDefaults()
+	if w.LookupsPerMinute != 0 {
+		t.Fatalf("Disabled lookups coerced to %d, want 0", w.LookupsPerMinute)
+	}
+	if w.StoresPerMinute != 5 {
+		t.Fatalf("explicit store rate rewritten to %d", w.StoresPerMinute)
+	}
+	w = Workload{LookupsPerMinute: 7, StoresPerMinute: Disabled}.withDefaults()
+	if w.LookupsPerMinute != 7 || w.StoresPerMinute != 0 {
+		t.Fatalf("stores-off workload resolved to %+v", w)
+	}
+}
+
+// TestGeneratorZeroLookupWorkload runs a stores-only workload end to
+// end: the regression was that Disabled-free code could not express it
+// at all (zero meant "default to 10 lookups/minute").
+func TestGeneratorZeroLookupWorkload(t *testing.T) {
+	sim := eventsim.New(6)
+	pop, _ := buildPop(t, sim, 6)
+	g, err := NewGenerator(sim, 64, Workload{LookupsPerMinute: Disabled, StoresPerMinute: 2}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := sim.Now()
+	if err := g.Start(start, start+5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(start + 10*time.Minute)
+	if g.Lookups() != 0 {
+		t.Fatalf("lookups = %d, want 0 (disabled)", g.Lookups())
+	}
+	// 6 nodes * 5 minutes * 2 stores.
+	if g.Stores() != 60 {
+		t.Fatalf("stores = %d, want 60", g.Stores())
+	}
+}
+
 func TestGeneratorStopAndWindow(t *testing.T) {
 	sim := eventsim.New(4)
 	pop, _ := buildPop(t, sim, 3)
@@ -151,8 +193,14 @@ func TestGeneratorValidation(t *testing.T) {
 	if _, err := NewGenerator(sim, 7, Workload{}, pop); err == nil {
 		t.Error("invalid bits should fail")
 	}
-	if _, err := NewGenerator(sim, 64, Workload{LookupsPerMinute: -1}, pop); err == nil {
+	if _, err := NewGenerator(sim, 64, Workload{LookupsPerMinute: -2}, pop); err == nil {
 		t.Error("negative rate should fail")
+	}
+	if _, err := NewGenerator(sim, 64, Workload{StoresPerMinute: -2}, pop); err == nil {
+		t.Error("negative store rate should fail")
+	}
+	if _, err := NewGenerator(sim, 64, Workload{KeyPoolSize: -1}, pop); err == nil {
+		t.Error("negative key pool should fail")
 	}
 	g, err := NewGenerator(sim, 64, Workload{}, pop)
 	if err != nil {

@@ -1,0 +1,737 @@
+// Package workload is the generative workload layer: declarative
+// scenario specs (versioned JSON files) that compose deterministic
+// workload generators — heavy-tailed session lengths, diurnal arrival
+// curves, Zipf-popular lookup targets, flash-crowd join bursts, and
+// replay of recorded join/leave traces — with the fixed-rate churn and
+// traffic knobs of the paper's §5.3 methodology. A spec file opens a new
+// experiment axis without recompiling: the CLIs load it with
+// -scenario <file>, kadserve accepts it embedded in a query body, and
+// the built-in presets are committed as spec files resolved through the
+// same path.
+//
+// Every generator draws from its own splitmix64-derived random stream
+// (seeded from the run seed, one stream tag per generator), and all
+// actions run inside the single-goroutine event kernel, so results are
+// byte-identical for any worker count — the same contract the rest of
+// the experiment pipeline is pinned to.
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SpecVersion is the only supported spec format version. Specs must
+// declare it explicitly so a future format change can never silently
+// reinterpret an old file.
+const SpecVersion = 1
+
+// Spec is one scenario spec file: an experiment identifier plus the runs
+// that regenerate it. Defaults apply to every run field a run leaves
+// unset; a run's own fields win. Decoding is strict — unknown fields are
+// a load error, never silently dropped knobs.
+type Spec struct {
+	// Version must be SpecVersion.
+	Version int `json:"version"`
+	// ID is the experiment tag ("figure2", "flash-crowd", ...); it names
+	// the JSON artefact exactly like a compiled-in experiment id.
+	ID string `json:"id"`
+	// Title describes the experiment in reports.
+	Title string `json:"title,omitempty"`
+	// Scale optionally pins the resolution scale (paper, reduced, tiny);
+	// empty defers to the loader (the CLI -scale flag).
+	Scale string `json:"scale,omitempty"`
+	// Defaults seeds every run's unset fields.
+	Defaults *RunSpec `json:"defaults,omitempty"`
+	// Runs are the experiment's configurations.
+	Runs []RunSpec `json:"runs"`
+}
+
+// RunSpec is the declarative form of one run. Every field is a pointer
+// (or a reference type) so that "unset — take the scale/paper default"
+// and "explicitly zero" stay distinguishable: a spec can turn lookups
+// off without the config layer coercing the 0 back to the paper's 10.
+// Durations are simulated minutes.
+type RunSpec struct {
+	// Name labels the run; required on every resolved run.
+	Name string `json:"name,omitempty"`
+	// SeedOffset is added to the loader's base seed (default 0).
+	SeedOffset *int64 `json:"seed_offset,omitempty"`
+
+	Size      *int    `json:"size,omitempty"`
+	K         *int    `json:"k,omitempty"`
+	Alpha     *int    `json:"alpha,omitempty"`
+	Bits      *int    `json:"bits,omitempty"`
+	Staleness *int    `json:"staleness,omitempty"`
+	Loss      *string `json:"loss,omitempty"`  // none, low, med, high
+	Churn     *string `json:"churn,omitempty"` // "add/remove" per minute
+
+	// ChurnMinutes sets the churn-phase length; DrainChurn instead derives
+	// the paper's Sim A-D drain window from the network size. At most one
+	// may be set.
+	ChurnMinutes *float64 `json:"churn_minutes,omitempty"`
+	DrainChurn   *bool    `json:"drain_churn,omitempty"`
+
+	// Traffic toggles the per-node lookup/store workload; the per-minute
+	// rates accept explicit 0 ("lookups off, stores on") independently.
+	Traffic          *bool `json:"traffic,omitempty"`
+	LookupsPerMinute *int  `json:"lookups_per_minute,omitempty"`
+	StoresPerMinute  *int  `json:"stores_per_minute,omitempty"`
+	KeyPool          *int  `json:"key_pool,omitempty"`
+
+	SetupMinutes     *float64 `json:"setup_minutes,omitempty"`
+	StabilizeMinutes *float64 `json:"stabilize_minutes,omitempty"`
+	SnapshotMinutes  *float64 `json:"snapshot_minutes,omitempty"`
+	SampleFraction   *float64 `json:"sample_fraction,omitempty"`
+
+	// Attack rides the churn window (see the attack package).
+	Attack *AttackSpec `json:"attack,omitempty"`
+
+	// The generative layer.
+	Sessions    *SessionsSpec    `json:"sessions,omitempty"`
+	Arrivals    *ArrivalsSpec    `json:"arrivals,omitempty"`
+	Popularity  *PopularitySpec  `json:"popularity,omitempty"`
+	FlashCrowds []FlashCrowdSpec `json:"flash_crowds,omitempty"`
+	Trace       *TraceSpec       `json:"trace,omitempty"`
+}
+
+// AttackSpec is the declarative adversary. Omitted fields take the
+// scale's canonical attack (budget half the network, spread evenly over
+// the strikes that fit the window).
+type AttackSpec struct {
+	Strategy        string  `json:"strategy"` // random, degree, cutset, eclipse
+	Budget          *int    `json:"budget,omitempty"`
+	Kills           *int    `json:"kills,omitempty"`
+	IntervalMinutes float64 `json:"interval_minutes,omitempty"`
+}
+
+// SessionsSpec draws heavy-tailed session lengths for generatively
+// joined nodes (arrivals and flash crowds): each join schedules its own
+// departure after a sampled lifetime.
+type SessionsSpec struct {
+	// Dist is "lognormal" or "pareto".
+	Dist string `json:"dist"`
+	// MeanMinutes and Sigma parameterize the lognormal: the distribution
+	// mean is MeanMinutes, Sigma its log-space shape (default 1).
+	MeanMinutes float64 `json:"mean_minutes,omitempty"`
+	Sigma       float64 `json:"sigma,omitempty"`
+	// MinMinutes and Alpha parameterize the Pareto: scale x_m (the
+	// minimum session) and tail index alpha.
+	MinMinutes float64 `json:"min_minutes,omitempty"`
+	Alpha      float64 `json:"alpha,omitempty"`
+}
+
+// ArrivalsSpec generates node joins through the churn window as a
+// per-minute Poisson process, optionally modulated by a diurnal curve.
+type ArrivalsSpec struct {
+	RatePerMinute float64      `json:"rate_per_minute"`
+	Diurnal       *DiurnalSpec `json:"diurnal,omitempty"`
+}
+
+// DiurnalSpec modulates an arrival rate sinusoidally over simulated
+// time: rate(t) = base * (1 + Amplitude * sin(2*pi*(t-Phase)/Period)),
+// clamped at zero.
+type DiurnalSpec struct {
+	PeriodMinutes float64 `json:"period_minutes"`
+	Amplitude     float64 `json:"amplitude"`
+	PhaseMinutes  float64 `json:"phase_minutes,omitempty"`
+}
+
+// PopularitySpec skews lookup/store key selection: keys are drawn
+// Zipf(s, v) over the key pool instead of uniformly, concentrating the
+// workload on a popular head exactly like measured KAD object traffic.
+type PopularitySpec struct {
+	// ZipfS is the exponent (> 1).
+	ZipfS float64 `json:"zipf_s"`
+	// ZipfV offsets the ranks (>= 1; default 1).
+	ZipfV float64 `json:"zipf_v,omitempty"`
+}
+
+// FlashCrowdSpec injects a join burst: Joins nodes arrive at uniformly
+// random instants within [AtMinutes, AtMinutes+WindowMinutes). Sessions,
+// when set, gives the crowd its own lifetime distribution (otherwise the
+// run's Sessions applies; with neither, crowd nodes stay).
+type FlashCrowdSpec struct {
+	AtMinutes     float64       `json:"at_minutes"`
+	Joins         int           `json:"joins"`
+	WindowMinutes float64       `json:"window_minutes,omitempty"` // default 1
+	Sessions      *SessionsSpec `json:"sessions,omitempty"`
+}
+
+// TraceSpec replays a recorded join/leave trace. Path names a JSONL file
+// (one TraceEvent per line, resolved relative to the spec file); Events
+// inlines the trace directly — the form an embedded kadserve spec uses.
+// After loading, Events always holds the resolved trace.
+type TraceSpec struct {
+	Path   string       `json:"path,omitempty"`
+	Events []TraceEvent `json:"events,omitempty"`
+}
+
+// TraceEvent is one recorded action. A join with a Node label registers
+// the node under that label; a leave with a label removes that specific
+// node (an error if it never joined or already left), and a leave
+// without a label removes a uniformly random live node.
+type TraceEvent struct {
+	TMin float64 `json:"t_min"`
+	Op   string  `json:"op"` // join | leave
+	Node string  `json:"node,omitempty"`
+}
+
+// Generators is the resolved generative-workload bundle one run
+// executes — the merged spec fields, with any trace fully loaded. The
+// zero value runs nothing.
+type Generators struct {
+	Sessions    *SessionsSpec    `json:"sessions,omitempty"`
+	Arrivals    *ArrivalsSpec    `json:"arrivals,omitempty"`
+	Popularity  *PopularitySpec  `json:"popularity,omitempty"`
+	FlashCrowds []FlashCrowdSpec `json:"flash_crowds,omitempty"`
+	Trace       *TraceSpec       `json:"trace,omitempty"`
+}
+
+// Enabled reports whether any generator is configured.
+func (g Generators) Enabled() bool {
+	return g.Sessions != nil || g.Arrivals != nil || g.Popularity != nil ||
+		len(g.FlashCrowds) > 0 || g.Trace != nil
+}
+
+// Canon renders the bundle canonically for run fingerprints: two runs
+// with the same Canon execute the same generative workload. Empty for
+// the zero value, so fingerprints of generator-free runs are unchanged
+// from before the workload layer existed.
+func (g Generators) Canon() string {
+	if !g.Enabled() {
+		return ""
+	}
+	// Struct-ordered json.Marshal is deterministic; the trace rides along
+	// through Events, so an edited trace file changes the canon too.
+	b, err := json.Marshal(g)
+	if err != nil {
+		// Generators hold only plain data; Marshal cannot fail on them.
+		panic(fmt.Sprintf("workload: canon: %v", err))
+	}
+	return string(b)
+}
+
+// Validate checks the bundle against the run it is attached to.
+// totalMinutes is the run's full length, withTraffic whether the run
+// generates lookup/store traffic (Popularity needs it).
+func (g Generators) Validate(totalMinutes float64, withTraffic bool) error {
+	if g.Sessions != nil {
+		if err := g.Sessions.validate(); err != nil {
+			return err
+		}
+		if g.Arrivals == nil && len(g.FlashCrowds) == 0 {
+			return fmt.Errorf("workload: sessions need a join source (arrivals or flash_crowds)")
+		}
+	}
+	if g.Arrivals != nil {
+		if err := g.Arrivals.validate(); err != nil {
+			return err
+		}
+	}
+	if g.Popularity != nil {
+		if err := g.Popularity.validate(); err != nil {
+			return err
+		}
+		if !withTraffic {
+			return fmt.Errorf("workload: popularity requires traffic")
+		}
+	}
+	for i, fc := range g.FlashCrowds {
+		if err := fc.validate(); err != nil {
+			return fmt.Errorf("workload: flash_crowds[%d]: %w", i, err)
+		}
+		if fc.AtMinutes >= totalMinutes {
+			return fmt.Errorf("workload: flash_crowds[%d] at %gm is past the run end %gm",
+				i, fc.AtMinutes, totalMinutes)
+		}
+	}
+	if g.Trace != nil {
+		if len(g.Trace.Events) == 0 {
+			return fmt.Errorf("workload: trace has no events (path %q unresolved?)", g.Trace.Path)
+		}
+		for i, ev := range g.Trace.Events {
+			if ev.TMin > totalMinutes {
+				return fmt.Errorf("workload: trace event %d at %gm is past the run end %gm",
+					i, ev.TMin, totalMinutes)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *SessionsSpec) validate() error {
+	switch s.Dist {
+	case "lognormal":
+		if s.MeanMinutes <= 0 {
+			return fmt.Errorf("workload: lognormal sessions need mean_minutes > 0 (got %g)", s.MeanMinutes)
+		}
+		if s.Sigma < 0 {
+			return fmt.Errorf("workload: lognormal sigma %g is negative", s.Sigma)
+		}
+		if s.MinMinutes != 0 || s.Alpha != 0 {
+			return fmt.Errorf("workload: lognormal sessions take mean_minutes/sigma, not min_minutes/alpha")
+		}
+	case "pareto":
+		if s.MinMinutes <= 0 {
+			return fmt.Errorf("workload: pareto sessions need min_minutes > 0 (got %g)", s.MinMinutes)
+		}
+		if s.Alpha <= 0 {
+			return fmt.Errorf("workload: pareto sessions need alpha > 0 (got %g)", s.Alpha)
+		}
+		if s.MeanMinutes != 0 || s.Sigma != 0 {
+			return fmt.Errorf("workload: pareto sessions take min_minutes/alpha, not mean_minutes/sigma")
+		}
+	default:
+		return fmt.Errorf("workload: unknown session dist %q (lognormal, pareto)", s.Dist)
+	}
+	return nil
+}
+
+func (a *ArrivalsSpec) validate() error {
+	if a.RatePerMinute <= 0 {
+		return fmt.Errorf("workload: arrivals need rate_per_minute > 0 (got %g)", a.RatePerMinute)
+	}
+	if d := a.Diurnal; d != nil {
+		if d.PeriodMinutes <= 0 {
+			return fmt.Errorf("workload: diurnal period_minutes %g must be positive", d.PeriodMinutes)
+		}
+		if d.Amplitude < 0 || d.Amplitude > 1 {
+			return fmt.Errorf("workload: diurnal amplitude %g outside [0,1]", d.Amplitude)
+		}
+	}
+	return nil
+}
+
+func (p *PopularitySpec) validate() error {
+	if p.ZipfS <= 1 {
+		return fmt.Errorf("workload: zipf_s %g must be > 1", p.ZipfS)
+	}
+	if p.ZipfV != 0 && p.ZipfV < 1 {
+		return fmt.Errorf("workload: zipf_v %g must be >= 1", p.ZipfV)
+	}
+	return nil
+}
+
+func (fc *FlashCrowdSpec) validate() error {
+	if fc.AtMinutes < 0 {
+		return fmt.Errorf("at_minutes %g is negative", fc.AtMinutes)
+	}
+	if fc.Joins < 1 {
+		return fmt.Errorf("joins %d must be >= 1", fc.Joins)
+	}
+	if fc.WindowMinutes < 0 {
+		return fmt.Errorf("window_minutes %g is negative", fc.WindowMinutes)
+	}
+	if fc.Sessions != nil {
+		return fc.Sessions.validate()
+	}
+	return nil
+}
+
+// Merge overlays run onto defaults: every field the run sets wins, every
+// field it leaves nil falls back to the defaults block.
+func Merge(defaults *RunSpec, run RunSpec) RunSpec {
+	if defaults == nil {
+		return run
+	}
+	out := *defaults
+	out.Name = run.Name
+	if run.SeedOffset != nil {
+		out.SeedOffset = run.SeedOffset
+	}
+	if run.Size != nil {
+		out.Size = run.Size
+	}
+	if run.K != nil {
+		out.K = run.K
+	}
+	if run.Alpha != nil {
+		out.Alpha = run.Alpha
+	}
+	if run.Bits != nil {
+		out.Bits = run.Bits
+	}
+	if run.Staleness != nil {
+		out.Staleness = run.Staleness
+	}
+	if run.Loss != nil {
+		out.Loss = run.Loss
+	}
+	if run.Churn != nil {
+		out.Churn = run.Churn
+	}
+	if run.ChurnMinutes != nil {
+		out.ChurnMinutes = run.ChurnMinutes
+	}
+	if run.DrainChurn != nil {
+		out.DrainChurn = run.DrainChurn
+	}
+	if run.Traffic != nil {
+		out.Traffic = run.Traffic
+	}
+	if run.LookupsPerMinute != nil {
+		out.LookupsPerMinute = run.LookupsPerMinute
+	}
+	if run.StoresPerMinute != nil {
+		out.StoresPerMinute = run.StoresPerMinute
+	}
+	if run.KeyPool != nil {
+		out.KeyPool = run.KeyPool
+	}
+	if run.SetupMinutes != nil {
+		out.SetupMinutes = run.SetupMinutes
+	}
+	if run.StabilizeMinutes != nil {
+		out.StabilizeMinutes = run.StabilizeMinutes
+	}
+	if run.SnapshotMinutes != nil {
+		out.SnapshotMinutes = run.SnapshotMinutes
+	}
+	if run.SampleFraction != nil {
+		out.SampleFraction = run.SampleFraction
+	}
+	if run.Attack != nil {
+		out.Attack = run.Attack
+	}
+	if run.Sessions != nil {
+		out.Sessions = run.Sessions
+	}
+	if run.Arrivals != nil {
+		out.Arrivals = run.Arrivals
+	}
+	if run.Popularity != nil {
+		out.Popularity = run.Popularity
+	}
+	if run.FlashCrowds != nil {
+		out.FlashCrowds = run.FlashCrowds
+	}
+	if run.Trace != nil {
+		out.Trace = run.Trace
+	}
+	return out
+}
+
+// Decode reads a spec from bytes with strict field checking and
+// validates its shape. Traces referenced by path are NOT resolved —
+// call ResolveTraces (Load does both).
+func Decode(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("workload: spec: %w", err)
+	}
+	// A second document in the same file is a malformed spec, not data to
+	// silently ignore.
+	if dec.More() {
+		return nil, fmt.Errorf("workload: spec: trailing data after the spec document")
+	}
+	if err := sp.check(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// Check validates the spec's shape for callers that received it through
+// a larger decoded document rather than Decode/Load (which both check).
+func (sp *Spec) Check() error {
+	return sp.check()
+}
+
+// check validates the spec's own shape (per-run semantics against scale
+// defaults are the resolver's job).
+func (sp *Spec) check() error {
+	if sp.Version != SpecVersion {
+		return fmt.Errorf("workload: spec version %d unsupported (want %d; a missing version field must be added explicitly)",
+			sp.Version, SpecVersion)
+	}
+	if sp.ID == "" {
+		return fmt.Errorf("workload: spec needs an id")
+	}
+	if len(sp.Runs) == 0 {
+		return fmt.Errorf("workload: spec %q has no runs", sp.ID)
+	}
+	seen := make(map[string]bool, len(sp.Runs))
+	for i := range sp.Runs {
+		merged := Merge(sp.Defaults, sp.Runs[i])
+		if merged.Name == "" {
+			return fmt.Errorf("workload: spec %q run %d has no name", sp.ID, i)
+		}
+		if seen[merged.Name] {
+			return fmt.Errorf("workload: spec %q has duplicate run name %q", sp.ID, merged.Name)
+		}
+		seen[merged.Name] = true
+		if err := merged.check(); err != nil {
+			return fmt.Errorf("workload: spec %q run %q: %w", sp.ID, merged.Name, err)
+		}
+	}
+	return nil
+}
+
+// check validates the scale-independent constraints of one merged run.
+func (r *RunSpec) check() error {
+	for name, v := range map[string]*int{
+		"size": r.Size, "k": r.K, "alpha": r.Alpha, "bits": r.Bits,
+		"staleness": r.Staleness,
+	} {
+		if v != nil && *v < 0 {
+			return fmt.Errorf("%s %d is negative", name, *v)
+		}
+	}
+	if r.KeyPool != nil && *r.KeyPool < 1 {
+		return fmt.Errorf("key_pool %d must be >= 1", *r.KeyPool)
+	}
+	// Explicit 0 means "off" for the traffic rates; only signs are wrong.
+	for name, v := range map[string]*int{
+		"lookups_per_minute": r.LookupsPerMinute, "stores_per_minute": r.StoresPerMinute,
+	} {
+		if v != nil && *v < 0 {
+			return fmt.Errorf("%s %d is negative (use 0 to turn the rate off)", name, *v)
+		}
+	}
+	for name, v := range map[string]*float64{
+		"churn_minutes": r.ChurnMinutes, "setup_minutes": r.SetupMinutes,
+		"stabilize_minutes": r.StabilizeMinutes, "snapshot_minutes": r.SnapshotMinutes,
+	} {
+		if v != nil && *v < 0 {
+			return fmt.Errorf("%s %g is negative", name, *v)
+		}
+	}
+	if r.SampleFraction != nil && (*r.SampleFraction <= 0 || *r.SampleFraction > 1) {
+		return fmt.Errorf("sample_fraction %g outside (0,1]", *r.SampleFraction)
+	}
+	if r.ChurnMinutes != nil && r.DrainChurn != nil && *r.DrainChurn {
+		return fmt.Errorf("churn_minutes and drain_churn are mutually exclusive")
+	}
+	if r.Attack != nil {
+		if r.Attack.Strategy == "" {
+			return fmt.Errorf("attack needs a strategy")
+		}
+		if r.Attack.Budget != nil && *r.Attack.Budget < 1 {
+			return fmt.Errorf("attack budget %d must be >= 1", *r.Attack.Budget)
+		}
+		if r.Attack.Kills != nil && *r.Attack.Kills < 1 {
+			return fmt.Errorf("attack kills %d must be >= 1", *r.Attack.Kills)
+		}
+		if r.Attack.IntervalMinutes < 0 {
+			return fmt.Errorf("attack interval_minutes %g is negative", r.Attack.IntervalMinutes)
+		}
+	}
+	if r.Trace != nil && r.Trace.Path == "" && len(r.Trace.Events) == 0 {
+		return fmt.Errorf("trace needs a path or inline events")
+	}
+	// Generator parameter shapes (run-length-dependent checks happen at
+	// resolution, when the total duration is known).
+	g := r.Generators()
+	if g.Sessions != nil {
+		if err := g.Sessions.validate(); err != nil {
+			return err
+		}
+	}
+	if g.Arrivals != nil {
+		if err := g.Arrivals.validate(); err != nil {
+			return err
+		}
+	}
+	if g.Popularity != nil {
+		if err := g.Popularity.validate(); err != nil {
+			return err
+		}
+	}
+	for i, fc := range g.FlashCrowds {
+		if err := fc.validate(); err != nil {
+			return fmt.Errorf("flash_crowds[%d]: %w", i, err)
+		}
+	}
+	if g.Trace != nil {
+		for i, ev := range g.Trace.Events {
+			if err := ev.check(); err != nil {
+				return fmt.Errorf("trace event %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (ev TraceEvent) check() error {
+	if ev.TMin < 0 {
+		return fmt.Errorf("t_min %g is negative", ev.TMin)
+	}
+	if ev.Op != "join" && ev.Op != "leave" {
+		return fmt.Errorf("unknown op %q (join, leave)", ev.Op)
+	}
+	return nil
+}
+
+// Generators collects the run's generative fields into a bundle.
+func (r *RunSpec) Generators() Generators {
+	return Generators{
+		Sessions: r.Sessions, Arrivals: r.Arrivals, Popularity: r.Popularity,
+		FlashCrowds: r.FlashCrowds, Trace: r.Trace,
+	}
+}
+
+// Traces lists every trace block in the spec (defaults and runs), so
+// callers that cannot resolve file paths — a server receiving the spec
+// over the wire — can reject path-only traces up front.
+func (sp *Spec) Traces() []*TraceSpec {
+	var out []*TraceSpec
+	if sp.Defaults != nil && sp.Defaults.Trace != nil {
+		out = append(out, sp.Defaults.Trace)
+	}
+	for i := range sp.Runs {
+		if sp.Runs[i].Trace != nil {
+			out = append(out, sp.Runs[i].Trace)
+		}
+	}
+	return out
+}
+
+// ResolveTraces loads every path-referenced trace, resolving relative
+// paths against baseDir. Inline events pass through untouched; it is a
+// no-op when no run replays a trace.
+func (sp *Spec) ResolveTraces(baseDir string) error {
+	resolve := func(t *TraceSpec) error {
+		if t == nil || t.Path == "" || len(t.Events) > 0 {
+			return nil
+		}
+		path := t.Path
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		events, err := LoadTrace(path)
+		if err != nil {
+			return err
+		}
+		t.Events = events
+		return nil
+	}
+	if sp.Defaults != nil {
+		if err := resolve(sp.Defaults.Trace); err != nil {
+			return err
+		}
+	}
+	for i := range sp.Runs {
+		if err := resolve(sp.Runs[i].Trace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads, strictly decodes and validates a spec file, resolving
+// trace paths relative to the file's directory.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: spec %s: %w", path, err)
+	}
+	sp, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("workload: spec %s: %w", path, err)
+	}
+	if err := sp.ResolveTraces(filepath.Dir(path)); err != nil {
+		return nil, fmt.Errorf("workload: spec %s: %w", path, err)
+	}
+	return sp, nil
+}
+
+// LoadTrace reads a JSONL trace: one strictly-decoded TraceEvent per
+// non-empty line. Label lifecycles are validated in time order — a
+// labeled leave must name a node that joined before it and is still
+// live, and a labeled join must not reuse a live label — so a broken
+// trace fails at load time, not halfway through a simulation.
+func LoadTrace(path string) ([]TraceEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace %s: %w", path, err)
+	}
+	defer f.Close()
+	var events []TraceEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("workload: trace %s line %d: %w", path, line, err)
+		}
+		if err := ev.check(); err != nil {
+			return nil, fmt.Errorf("workload: trace %s line %d: %w", path, line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: trace %s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("workload: trace %s has no events", path)
+	}
+	if err := checkTraceLabels(events); err != nil {
+		return nil, fmt.Errorf("workload: trace %s: %w", path, err)
+	}
+	return events, nil
+}
+
+// checkTraceLabels replays label lifecycles in time order (ties resolve
+// in file order, matching the replayer's scheduling).
+func checkTraceLabels(events []TraceEvent) error {
+	order := make([]int, len(events))
+	for i := range order {
+		order[i] = i
+	}
+	// Stable insertion sort by time keeps file order on ties without
+	// importing sort for a SliceStable over a tiny index slice.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && events[order[j]].TMin < events[order[j-1]].TMin; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	live := make(map[string]bool)
+	for _, i := range order {
+		ev := events[i]
+		if ev.Node == "" {
+			continue
+		}
+		switch ev.Op {
+		case "join":
+			if live[ev.Node] {
+				return fmt.Errorf("node %q joins at %gm while already live", ev.Node, ev.TMin)
+			}
+			live[ev.Node] = true
+		case "leave":
+			if !live[ev.Node] {
+				return fmt.Errorf("node %q leaves at %gm without a prior join", ev.Node, ev.TMin)
+			}
+			delete(live, ev.Node)
+		}
+	}
+	return nil
+}
+
+// Digest fingerprints the spec: a short hex digest over its canonical
+// JSON form with all traces resolved, so editing any field — or any
+// replayed trace file — yields a different digest. Checkpoint resume
+// uses it to refuse mixing results across edited specs.
+func (sp *Spec) Digest() string {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		panic(fmt.Sprintf("workload: digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("%x", sum[:8])
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validSpecJSON is a minimal well-formed spec the rejection tests mutate.
+const validSpecJSON = `{
+  "version": 1,
+  "id": "t",
+  "runs": [{"name": "r0", "k": 5}]
+}`
+
+func TestDecodeValidSpec(t *testing.T) {
+	sp, err := Decode([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.ID != "t" || len(sp.Runs) != 1 || sp.Runs[0].Name != "r0" || *sp.Runs[0].K != 5 {
+		t.Fatalf("decoded %+v", sp)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"unknown top-level field", `{"version":1,"id":"t","bogus":1,"runs":[{"name":"r"}]}`, "bogus"},
+		{"unknown run field", `{"version":1,"id":"t","runs":[{"name":"r","kk":5}]}`, "kk"},
+		{"unknown nested field", `{"version":1,"id":"t","runs":[{"name":"r","arrivals":{"rate_per_minute":1,"burst":2}}]}`, "burst"},
+		{"missing version", `{"id":"t","runs":[{"name":"r"}]}`, "version"},
+		{"future version", `{"version":2,"id":"t","runs":[{"name":"r"}]}`, "version 2"},
+		{"missing id", `{"version":1,"runs":[{"name":"r"}]}`, "id"},
+		{"no runs", `{"version":1,"id":"t"}`, "no runs"},
+		{"unnamed run", `{"version":1,"id":"t","runs":[{"k":5}]}`, "no name"},
+		{"duplicate run names", `{"version":1,"id":"t","runs":[{"name":"r"},{"name":"r"}]}`, "duplicate"},
+		{"trailing document", validSpecJSON + `{"version":1}`, "trailing"},
+		{"negative k", `{"version":1,"id":"t","runs":[{"name":"r","k":-1}]}`, "negative"},
+		{"negative lookups", `{"version":1,"id":"t","runs":[{"name":"r","lookups_per_minute":-1}]}`, "lookups_per_minute"},
+		{"zero key pool", `{"version":1,"id":"t","runs":[{"name":"r","key_pool":0}]}`, "key_pool"},
+		{"sample fraction over 1", `{"version":1,"id":"t","runs":[{"name":"r","sample_fraction":1.5}]}`, "sample_fraction"},
+		{"churn_minutes vs drain", `{"version":1,"id":"t","runs":[{"name":"r","churn_minutes":5,"drain_churn":true}]}`, "mutually exclusive"},
+		{"attack without strategy", `{"version":1,"id":"t","runs":[{"name":"r","attack":{"budget":3}}]}`, "strategy"},
+		{"attack zero budget", `{"version":1,"id":"t","runs":[{"name":"r","attack":{"strategy":"random","budget":0}}]}`, "budget"},
+		{"unknown session dist", `{"version":1,"id":"t","runs":[{"name":"r","sessions":{"dist":"uniform","mean_minutes":5},"arrivals":{"rate_per_minute":1}}]}`, "dist"},
+		{"lognormal without mean", `{"version":1,"id":"t","runs":[{"name":"r","sessions":{"dist":"lognormal"},"arrivals":{"rate_per_minute":1}}]}`, "mean_minutes"},
+		{"lognormal with pareto knobs", `{"version":1,"id":"t","runs":[{"name":"r","sessions":{"dist":"lognormal","mean_minutes":5,"alpha":2},"arrivals":{"rate_per_minute":1}}]}`, "not min_minutes/alpha"},
+		{"pareto without alpha", `{"version":1,"id":"t","runs":[{"name":"r","sessions":{"dist":"pareto","min_minutes":2},"arrivals":{"rate_per_minute":1}}]}`, "alpha"},
+		{"zero arrival rate", `{"version":1,"id":"t","runs":[{"name":"r","arrivals":{"rate_per_minute":0}}]}`, "rate_per_minute"},
+		{"diurnal amplitude over 1", `{"version":1,"id":"t","runs":[{"name":"r","arrivals":{"rate_per_minute":1,"diurnal":{"period_minutes":60,"amplitude":1.5}}}]}`, "amplitude"},
+		{"diurnal zero period", `{"version":1,"id":"t","runs":[{"name":"r","arrivals":{"rate_per_minute":1,"diurnal":{"period_minutes":0,"amplitude":0.5}}}]}`, "period"},
+		{"zipf_s at 1", `{"version":1,"id":"t","runs":[{"name":"r","popularity":{"zipf_s":1}}]}`, "zipf_s"},
+		{"zipf_v below 1", `{"version":1,"id":"t","runs":[{"name":"r","popularity":{"zipf_s":1.2,"zipf_v":0.5}}]}`, "zipf_v"},
+		{"flash crowd without joins", `{"version":1,"id":"t","runs":[{"name":"r","flash_crowds":[{"at_minutes":5}]}]}`, "joins"},
+		{"flash crowd negative time", `{"version":1,"id":"t","runs":[{"name":"r","flash_crowds":[{"at_minutes":-1,"joins":3}]}]}`, "at_minutes"},
+		{"empty trace block", `{"version":1,"id":"t","runs":[{"name":"r","trace":{}}]}`, "trace"},
+		{"trace event bad op", `{"version":1,"id":"t","runs":[{"name":"r","trace":{"events":[{"t_min":1,"op":"crash"}]}}]}`, "op"},
+		{"trace event negative time", `{"version":1,"id":"t","runs":[{"name":"r","trace":{"events":[{"t_min":-1,"op":"join"}]}}]}`, "t_min"},
+		{"not json", `version: 1`, "spec"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Decode([]byte(tt.in))
+			if err == nil {
+				t.Fatalf("Decode accepted %s", tt.in)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestDefaultsMergeAndRunOverride pins Merge: a run field wins, an unset
+// one falls back to the defaults block, and validation runs on the
+// merged view (an invalid default surfaces even when declared globally).
+func TestDefaultsMergeAndRunOverride(t *testing.T) {
+	sp, err := Decode([]byte(`{
+	  "version": 1, "id": "t",
+	  "defaults": {"k": 10, "staleness": 1, "churn": "1/1"},
+	  "runs": [
+	    {"name": "a"},
+	    {"name": "b", "k": 20, "churn": "2/2"}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Merge(sp.Defaults, sp.Runs[0])
+	b := Merge(sp.Defaults, sp.Runs[1])
+	if *a.K != 10 || *a.Churn != "1/1" || *a.Staleness != 1 {
+		t.Fatalf("defaults did not fill run a: %+v", a)
+	}
+	if *b.K != 20 || *b.Churn != "2/2" || *b.Staleness != 1 {
+		t.Fatalf("run b overrides wrong: k=%d churn=%s", *b.K, *b.Churn)
+	}
+
+	// An out-of-range default is caught through every run it reaches.
+	if _, err := Decode([]byte(`{
+	  "version": 1, "id": "t",
+	  "defaults": {"sample_fraction": 2},
+	  "runs": [{"name": "a"}]
+	}`)); err == nil || !strings.Contains(err.Error(), "sample_fraction") {
+		t.Fatalf("invalid default survived merge: %v", err)
+	}
+}
+
+func TestGeneratorsValidateAgainstRun(t *testing.T) {
+	arr := Generators{Arrivals: &ArrivalsSpec{RatePerMinute: 1}}
+	if err := arr.Validate(30, false); err != nil {
+		t.Fatalf("plain arrivals: %v", err)
+	}
+	// Sessions without any join source have nothing to apply to.
+	s := Generators{Sessions: &SessionsSpec{Dist: "lognormal", MeanMinutes: 5}}
+	if err := s.Validate(30, false); err == nil || !strings.Contains(err.Error(), "join source") {
+		t.Fatalf("orphan sessions: %v", err)
+	}
+	// Popularity skews the traffic key picker; without traffic it is dead.
+	p := Generators{Popularity: &PopularitySpec{ZipfS: 1.2}}
+	if err := p.Validate(30, true); err != nil {
+		t.Fatalf("popularity with traffic: %v", err)
+	}
+	if err := p.Validate(30, false); err == nil || !strings.Contains(err.Error(), "traffic") {
+		t.Fatalf("popularity without traffic: %v", err)
+	}
+	// Events past the run end would silently never fire.
+	fc := Generators{FlashCrowds: []FlashCrowdSpec{{AtMinutes: 40, Joins: 5}}}
+	if err := fc.Validate(30, false); err == nil || !strings.Contains(err.Error(), "past the run end") {
+		t.Fatalf("late flash crowd: %v", err)
+	}
+	tr := Generators{Trace: &TraceSpec{Events: []TraceEvent{{TMin: 99, Op: "join"}}}}
+	if err := tr.Validate(30, false); err == nil || !strings.Contains(err.Error(), "past the run end") {
+		t.Fatalf("late trace event: %v", err)
+	}
+}
+
+func TestCanonEmptyForZeroBundle(t *testing.T) {
+	if c := (Generators{}).Canon(); c != "" {
+		t.Fatalf("zero bundle canon = %q, want empty (fingerprint compatibility)", c)
+	}
+	g := Generators{Arrivals: &ArrivalsSpec{RatePerMinute: 2}}
+	if g.Canon() == "" || g.Canon() != g.Canon() {
+		t.Fatal("non-empty bundle canon must be stable and non-empty")
+	}
+}
+
+func TestDigestTracksEveryField(t *testing.T) {
+	mk := func(body string) string {
+		sp, err := Decode([]byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp.Digest()
+	}
+	base := mk(validSpecJSON)
+	if base != mk(validSpecJSON) {
+		t.Fatal("digest not deterministic")
+	}
+	edited := mk(`{"version":1,"id":"t","runs":[{"name":"r0","k":6}]}`)
+	if edited == base {
+		t.Fatal("editing a run field left the digest unchanged")
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadResolvesTraceRelativeToSpec(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "trace.jsonl", `
+{"t_min": 1, "op": "join", "node": "a"}
+{"t_min": 2, "op": "join"}
+{"t_min": 5, "op": "leave", "node": "a"}
+{"t_min": 6, "op": "leave"}
+`)
+	spec := writeFile(t, dir, "spec.json", `{
+	  "version": 1, "id": "traced",
+	  "runs": [{"name": "r", "churn_minutes": 10, "trace": {"path": "trace.jsonl"}}]
+	}`)
+	sp, err := Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sp.Runs[0].Trace.Events
+	if len(evs) != 4 || evs[0].Node != "a" || evs[3].Op != "leave" {
+		t.Fatalf("resolved events %+v", evs)
+	}
+	// The digest covers the resolved trace: editing the trace file alone
+	// must change it.
+	d1 := sp.Digest()
+	writeFile(t, dir, "trace.jsonl", `{"t_min": 1, "op": "join", "node": "a"}
+{"t_min": 5, "op": "leave", "node": "a"}
+`)
+	sp2, err := Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Digest() == d1 {
+		t.Fatal("editing the trace file left the spec digest unchanged")
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	tests := []struct {
+		name    string
+		content string
+		want    string
+	}{
+		{"bad json line", "{\"t_min\": 1, \"op\": \"join\"}\nnot json\n", "line 2"},
+		{"unknown field", `{"t_min": 1, "op": "join", "why": "x"}`, "why"},
+		{"bad op", `{"t_min": 1, "op": "crash"}`, "op"},
+		{"negative time", `{"t_min": -2, "op": "join"}`, "t_min"},
+		{"empty file", "\n\n", "no events"},
+		{"leave before join", `{"t_min": 1, "op": "leave", "node": "a"}`, "without a prior join"},
+		{"double join", "{\"t_min\": 1, \"op\": \"join\", \"node\": \"a\"}\n{\"t_min\": 2, \"op\": \"join\", \"node\": \"a\"}\n", "already live"},
+		{"out-of-order leave", "{\"t_min\": 9, \"op\": \"join\", \"node\": \"a\"}\n{\"t_min\": 3, \"op\": \"leave\", \"node\": \"a\"}\n", "without a prior join"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			path := writeFile(t, dir, "t.jsonl", tt.content)
+			_, err := LoadTrace(path)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("LoadTrace = %v, want %q", err, tt.want)
+			}
+		})
+	}
+	if _, err := LoadTrace(filepath.Join(dir, "absent.jsonl")); err == nil {
+		t.Fatal("missing trace file must error")
+	}
+	// A spec referencing a missing trace fails at load, not at run time.
+	spec := writeFile(t, dir, "spec.json", `{
+	  "version": 1, "id": "t",
+	  "runs": [{"name": "r", "trace": {"path": "absent.jsonl"}}]
+	}`)
+	if _, err := Load(spec); err == nil || !strings.Contains(err.Error(), "absent.jsonl") {
+		t.Fatalf("spec with missing trace: %v", err)
+	}
+}
